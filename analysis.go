@@ -1,0 +1,45 @@
+package privelet
+
+import (
+	"repro/internal/marginal"
+	"repro/internal/query"
+	"repro/internal/variance"
+)
+
+// Analyzer computes the EXACT noise variance of range-count queries for
+// a publishing configuration (schema, ε, SA) — not just the worst-case
+// Corollary 1 bound. See internal/variance for the derivation; the paper
+// lists per-query utility analysis as future work (§IX).
+type Analyzer = variance.Analyzer
+
+// WorkloadStats summarizes exact per-query variances over a workload.
+type WorkloadStats = variance.WorkloadStats
+
+// NewAnalyzer builds an exact-variance analyzer for the release Publish
+// would produce with the same schema, epsilon and SA.
+func NewAnalyzer(schema *Schema, epsilon float64, sa []string) (*Analyzer, error) {
+	return variance.NewAnalyzer(schema, epsilon, sa)
+}
+
+// BestSA exhaustively searches all SA subsets for the one minimizing the
+// workload's mean exact noise variance — workload-aware Privelet+ tuning.
+func BestSA(schema *Schema, epsilon float64, workload []Query) ([]string, WorkloadStats, error) {
+	return variance.BestSA(schema, epsilon, workload)
+}
+
+// Marginal is one published marginal (a noisy projection of the
+// frequency matrix onto a subset of attributes).
+type Marginal = marginal.Release
+
+// MarginalOptions configures PublishMarginals.
+type MarginalOptions = marginal.Options
+
+// PublishMarginals releases one noisy marginal per attribute list under a
+// TOTAL budget of opts.Epsilon (split evenly; sequential composition).
+func PublishMarginals(t *Table, sets [][]string, opts MarginalOptions) ([]*Marginal, error) {
+	return marginal.PublishSet(t, sets, opts)
+}
+
+// NewQueryBuilder starts a range-count query against an arbitrary schema
+// (Release.NewQuery is the more common entry point).
+func NewQueryBuilder(schema *Schema) *QueryBuilder { return query.NewBuilder(schema) }

@@ -1,0 +1,521 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§VII), plus ablations for the design choices DESIGN.md
+// calls out. Each BenchmarkFigureN runs the corresponding experiment at a
+// bench-sized profile and reports headline metrics via b.ReportMetric;
+// cmd/experiments prints the full series at larger profiles.
+package privelet_test
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	privelet "repro"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiment"
+	"repro/internal/haar"
+	"repro/internal/hierarchy"
+	"repro/internal/matrix"
+	"repro/internal/nominal"
+	"repro/internal/privacy"
+	"repro/internal/query"
+	"repro/internal/rng"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+// benchProfile is a scaled-down experiment profile so `go test -bench=.`
+// finishes in minutes. The series' shape (who wins, where the crossover
+// falls) is preserved; see EXPERIMENTS.md for medium-profile numbers.
+func benchProfile() experiment.Profile {
+	return experiment.Profile{
+		Name: "bench", Scale: dataset.ScaleSmall,
+		Tuples: 30_000, Queries: 2_000,
+		Epsilons: []float64{0.5, 1.0},
+		Bins:     5, Seed: 4242, SA: []string{"Age", "Gender"},
+	}
+}
+
+// reportAccuracy surfaces the figure's headline numbers: Basic's and
+// Privelet+'s error in the top-coverage (or top-selectivity) bin at the
+// smallest ε, and their ratio.
+func reportAccuracy(b *testing.B, res *experiment.AccuracyResult) {
+	b.Helper()
+	rows := res.Series[0].Rows
+	top := rows[len(rows)-1]
+	b.ReportMetric(top.Basic, "basic-top-bin-err")
+	b.ReportMetric(top.Privelet, "privelet-top-bin-err")
+	if top.Privelet > 0 {
+		b.ReportMetric(top.Basic/top.Privelet, "basic/privelet")
+	}
+}
+
+// --- Table III -------------------------------------------------------
+
+func BenchmarkTable3DomainSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiment.WriteTableIII(io.Discard, dataset.ScaleFull); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 6-9: accuracy -------------------------------------------
+
+func benchAccuracy(b *testing.B, spec dataset.CensusSpec, metric experiment.Metric) {
+	b.Helper()
+	prof := benchProfile()
+	var last *experiment.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunAccuracy(spec, prof, metric)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportAccuracy(b, last)
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	benchAccuracy(b, dataset.BrazilSpec(dataset.ScaleSmall), experiment.SquareErrorByCoverage)
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	benchAccuracy(b, dataset.USSpec(dataset.ScaleSmall), experiment.SquareErrorByCoverage)
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	benchAccuracy(b, dataset.BrazilSpec(dataset.ScaleSmall), experiment.RelativeErrorBySelectivity)
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	benchAccuracy(b, dataset.USSpec(dataset.ScaleSmall), experiment.RelativeErrorBySelectivity)
+}
+
+// --- Figures 10-11: computation time ---------------------------------
+
+func BenchmarkFigure10TimeVsN(b *testing.B) {
+	var last *experiment.TimingResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTimingVsN(1<<14, []int{20_000, 40_000, 60_000}, 99)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	// Linearity check metric: time(3x)/time(1x) should be near 3 for a
+	// mechanism linear in n (frequency-matrix construction dominates at
+	// fixed m).
+	first, lastPt := last.Points[0], last.Points[len(last.Points)-1]
+	b.ReportMetric(float64(lastPt.Privelet)/float64(first.Privelet), "privelet-scale-ratio")
+	b.ReportMetric(float64(lastPt.Basic)/float64(first.Basic), "basic-scale-ratio")
+}
+
+func BenchmarkFigure11TimeVsM(b *testing.B) {
+	var last *experiment.TimingResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTimingVsM(20_000, []int{1 << 12, 1 << 14, 1 << 16}, 98)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	first, lastPt := last.Points[0], last.Points[len(last.Points)-1]
+	b.ReportMetric(float64(lastPt.Privelet)/float64(first.Privelet), "privelet-scale-ratio")
+	b.ReportMetric(float64(lastPt.M)/float64(first.M), "m-scale-ratio")
+}
+
+// --- §V-D / §VI-D worked examples as measured ablations ---------------
+
+// BenchmarkAblationNominalVsHaar measures the §V-D claim: empirical
+// subtree-query noise variance of the nominal transform vs the HWT on
+// the imposed order, on a 64-leaf, height-3 hierarchy at ε=1.
+func BenchmarkAblationNominalVsHaar(b *testing.B) {
+	h, err := hierarchy.ThreeLevel(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := dataset.MustSchema(dataset.NominalAttr("Occ", h))
+	m := matrix.MustNew(64)
+	q, err := query.NewBuilder(s).Node("Occ", "g0").Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const trials = 200
+	var hwtVar, nomVar float64
+	for i := 0; i < b.N; i++ {
+		var hwtSq, nomSq float64
+		for t := 0; t < trials; t++ {
+			seed := uint64(i*trials + t)
+			hres, err := baseline.HWTOrdinalized(m, s, 1.0, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hv, err := q.Eval(hres.Noisy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hwtSq += hv * hv
+			nres, err := core.PublishMatrix(m, s, core.Options{Epsilon: 1.0, Seed: seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nv, err := q.Eval(nres.Noisy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nomSq += nv * nv
+		}
+		hwtVar = hwtSq / trials
+		nomVar = nomSq / trials
+	}
+	b.ReportMetric(hwtVar, "hwt-variance")
+	b.ReportMetric(nomVar, "nominal-variance")
+	b.ReportMetric(hwtVar/nomVar, "hwt/nominal")
+	b.ReportMetric(privacy.HaarVarianceBound(1, 64), "hwt-bound")
+	b.ReportMetric(privacy.NominalVarianceBound(1, 3), "nominal-bound")
+}
+
+// BenchmarkAblationSmallDomain measures §VI-D: on |A| = 16, Basic beats
+// Privelet — the motivation for Privelet+'s SA set.
+func BenchmarkAblationSmallDomain(b *testing.B) {
+	s := dataset.MustSchema(dataset.OrdinalAttr("A", 16))
+	m := matrix.MustNew(16)
+	q, err := query.NewBuilder(s).Range("A", 0, 15).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const trials = 300
+	var basicVar, privVar float64
+	for i := 0; i < b.N; i++ {
+		var basicSq, privSq float64
+		for t := 0; t < trials; t++ {
+			seed := uint64(i*trials + t)
+			bres, err := baseline.Basic(m, 1.0, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bv, err := q.Eval(bres.Noisy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			basicSq += bv * bv
+			pres, err := core.PublishMatrix(m, s, core.Options{Epsilon: 1.0, Seed: seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pv, err := q.Eval(pres.Noisy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			privSq += pv * pv
+		}
+		basicVar = basicSq / trials
+		privVar = privSq / trials
+	}
+	b.ReportMetric(basicVar, "basic-variance")
+	b.ReportMetric(privVar, "privelet-variance")
+}
+
+// BenchmarkAblationMeanSubtraction quantifies the §V-B refinement: noise
+// variance of subtree queries with and without the mean-subtraction step.
+func BenchmarkAblationMeanSubtraction(b *testing.B) {
+	h, err := hierarchy.ThreeLevel(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := nominal.New(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := tr.Weights()
+	lambda := 2.0 * tr.GeneralizedSensitivity() // λ at ε=1
+	src := rng.New(777)
+	const trials = 400
+	var withVar, withoutVar float64
+	for i := 0; i < b.N; i++ {
+		var withSq, withoutSq float64
+		for t := 0; t < trials; t++ {
+			coeffs := make([]float64, tr.OutputSize())
+			for k := range coeffs {
+				if w[k] == 0 {
+					continue
+				}
+				coeffs[k] = src.Laplace(lambda / w[k])
+			}
+			raw := append([]float64(nil), coeffs...)
+			if err := tr.MeanSubtract(coeffs); err != nil {
+				b.Fatal(err)
+			}
+			recWith, err := tr.Inverse(coeffs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			recWithout, err := tr.Inverse(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var a, c float64
+			for leaf := 0; leaf < 8; leaf++ { // subtree of the first group
+				a += recWith[leaf]
+				c += recWithout[leaf]
+			}
+			withSq += a * a
+			withoutSq += c * c
+		}
+		withVar = withSq / trials
+		withoutVar = withoutSq / trials
+	}
+	b.ReportMetric(withVar, "with-meansub-variance")
+	b.ReportMetric(withoutVar, "without-meansub-variance")
+}
+
+// BenchmarkAblationSASweep times Privelet+ across SA choices on the small
+// census and reports each release's analytic bound.
+func BenchmarkAblationSASweep(b *testing.B) {
+	tbl, err := dataset.GenerateCensus(dataset.BrazilSpec(dataset.ScaleSmall), 20_000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := tbl.FrequencyMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	choices := []struct {
+		name string
+		sa   []string
+	}{
+		{"none", nil},
+		{"age-gender", []string{"Age", "Gender"}},
+		{"all", []string{"Age", "Gender", "Occupation", "Income"}},
+	}
+	for _, c := range choices {
+		b.Run(c.name, func(b *testing.B) {
+			var bound float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.PublishMatrix(m, tbl.Schema(), core.Options{Epsilon: 1, SA: c.sa, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bound = res.VarianceBound
+			}
+			b.ReportMetric(bound, "variance-bound")
+		})
+	}
+}
+
+// --- Extension: Hay et al. vs Privelet, 1-D ---------------------------
+
+func BenchmarkExtensionHay1D(b *testing.B) {
+	const mSize = 1024
+	s := dataset.MustSchema(dataset.OrdinalAttr("A", mSize))
+	hist := make([]float64, mSize)
+	r := rng.New(31)
+	for i := range hist {
+		hist[i] = math.Floor(r.Float64() * 50)
+	}
+	m, err := matrix.FromSlice(hist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := query.NewBuilder(s).Range("A", 100, 899).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	act, err := q.Eval(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const trials = 100
+	var hayMSE, privMSE float64
+	for i := 0; i < b.N; i++ {
+		var haySq, privSq float64
+		for t := 0; t < trials; t++ {
+			seed := uint64(i*trials + t)
+			hres, err := privelet.PublishHistogram(hist, 1.0, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var hv float64
+			for j := 100; j <= 899; j++ {
+				hv += hres[j]
+			}
+			haySq += (hv - act) * (hv - act)
+			pres, err := core.PublishMatrix(m, s, core.Options{Epsilon: 1.0, Seed: seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pv, err := q.Eval(pres.Noisy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			privSq += (pv - act) * (pv - act)
+		}
+		hayMSE = haySq / trials
+		privMSE = privSq / trials
+	}
+	b.ReportMetric(hayMSE, "hay-mse")
+	b.ReportMetric(privMSE, "privelet-mse")
+}
+
+// --- Micro-benchmarks on the substrates --------------------------------
+
+func BenchmarkHaarForward4096(b *testing.B) {
+	v := make([]float64, 4096)
+	r := rng.New(1)
+	for i := range v {
+		v[i] = r.Float64()
+	}
+	dst := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		haar.ForwardInto(v, dst)
+	}
+}
+
+func BenchmarkHaarInverse4096(b *testing.B) {
+	v := make([]float64, 4096)
+	r := rng.New(2)
+	for i := range v {
+		v[i] = r.Float64()
+	}
+	dst := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		haar.InverseInto(v, dst)
+	}
+}
+
+func BenchmarkNominalForward4096(b *testing.B) {
+	h, err := hierarchy.ThreeLevel(64, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := nominal.New(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make([]float64, tr.InputSize())
+	dst := make([]float64, tr.OutputSize())
+	r := rng.New(3)
+	for i := range v {
+		v[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ForwardInto(v, dst)
+	}
+}
+
+func BenchmarkHNForward2D(b *testing.B) {
+	h, err := hierarchy.ThreeLevel(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hn, err := transform.New(transform.Ordinal(256), transform.Nominal(h))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := matrix.MustNew(256, 256)
+	r := rng.New(4)
+	data := m.Data()
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hn.Forward(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPublishCensusSmall(b *testing.B) {
+	tbl, err := dataset.GenerateCensus(dataset.BrazilSpec(dataset.ScaleSmall), 50_000, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := tbl.FrequencyMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PublishMatrix(m, tbl.Schema(), core.Options{
+			Epsilon: 1, SA: []string{"Age", "Gender"}, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBasicPublishCensusSmall(b *testing.B) {
+	tbl, err := dataset.GenerateCensus(dataset.BrazilSpec(dataset.ScaleSmall), 50_000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := tbl.FrequencyMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Basic(m, 1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrequencyMatrix(b *testing.B) {
+	tbl, err := dataset.GenerateCensus(dataset.BrazilSpec(dataset.ScaleSmall), 100_000, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.FrequencyMatrix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryEvaluation compares prefix-sum against naive evaluation —
+// the design decision that makes 40k-query workloads feasible.
+func BenchmarkQueryEvaluation(b *testing.B) {
+	tbl, err := dataset.GenerateCensus(dataset.BrazilSpec(dataset.ScaleSmall), 50_000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := tbl.FrequencyMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(tbl.Schema(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := gen.Queries(256, rng.New(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("prefix", func(b *testing.B) {
+		ev := query.NewEvaluator(m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			if _, err := ev.Count(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			if _, err := q.Eval(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,104 @@
+// Command datagen emits the synthetic datasets used by the experiments as
+// headerless integer CSVs compatible with cmd/privelet.
+//
+//	datagen -kind brazil -n 100000 -scale small > brazil.csv
+//	datagen -kind us     -n 100000 -scale full  > us.csv
+//	datagen -kind uniform -n 100000 -m 65536     > uniform.csv
+//
+// With -print-schema the matching cmd/privelet -schema clause is printed
+// to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		kind        = flag.String("kind", "brazil", "dataset kind: brazil, us, uniform")
+		n           = flag.Int("n", 100_000, "number of tuples")
+		scaleFlag   = flag.String("scale", "small", "census scale: small, medium, full")
+		m           = flag.Int("m", 1<<16, "total domain size (uniform kind)")
+		seed        = flag.Uint64("seed", 1, "generator seed")
+		printSchema = flag.Bool("print-schema", false, "print the cmd/privelet -schema clause to stderr")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tbl *dataset.Table
+	var schemaClause string
+	switch *kind {
+	case "brazil", "us":
+		spec := dataset.BrazilSpec(scale)
+		if *kind == "us" {
+			spec = dataset.USSpec(scale)
+		}
+		tbl, err = dataset.GenerateCensus(spec, *n, *seed)
+		schemaClause = fmt.Sprintf(
+			"Age:ordinal:%d,Gender:nominal:flat:2,Occupation:nominal:3level:%dx%d,Income:ordinal:%d",
+			spec.AgeSize, spec.OccGroups, spec.OccPerGroup, spec.IncomeSize)
+	case "uniform":
+		spec, specErr := dataset.UniformSpecForM(*m)
+		if specErr != nil {
+			fatal(specErr)
+		}
+		tbl, err = dataset.GenerateUniform(spec, *n, *seed)
+		// The -schema grammar can express the exact 3-level hierarchy
+		// only for perfect-square sizes; otherwise fall back to flat
+		// (heights then differ from the generator's, which only shifts
+		// noise calibration, not validity).
+		nominalClause := fmt.Sprintf("nominal:flat:%d", spec.AttrSize)
+		if r := intSqrt(spec.AttrSize); r*r == spec.AttrSize {
+			nominalClause = fmt.Sprintf("nominal:3level:%dx%d", r, r)
+		}
+		schemaClause = fmt.Sprintf("O1:ordinal:%d,O2:ordinal:%d,N1:%s,N2:%s",
+			spec.AttrSize, spec.AttrSize, nominalClause, nominalClause)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *printSchema {
+		fmt.Fprintln(os.Stderr, schemaClause)
+	}
+
+	if err := cli.WriteTableCSV(os.Stdout, tbl); err != nil {
+		fatal(err)
+	}
+}
+
+func parseScale(s string) (dataset.Scale, error) {
+	switch s {
+	case "small":
+		return dataset.ScaleSmall, nil
+	case "medium":
+		return dataset.ScaleMedium, nil
+	case "full":
+		return dataset.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q", s)
+	}
+}
+
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

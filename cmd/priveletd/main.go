@@ -1,0 +1,43 @@
+// Command priveletd serves differentially-private releases over HTTP.
+//
+//	priveletd -addr :8080
+//
+//	# publish a table (budget is spent here, once)
+//	curl -X POST --data-binary @data.csv \
+//	  'localhost:8080/publish?schema=Age:ordinal:64,Gender:nominal:flat:2&epsilon=1&sa=Gender&seed=7'
+//
+//	# query it as often as you like
+//	curl 'localhost:8080/releases/r1/count?q=Age=30..49'
+//
+//	# download the release for offline use (cmd/privelet-compatible codec)
+//	curl -o release.prvl 'localhost:8080/releases/r1/export'
+//
+// See internal/server for the full API and query syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxBody = flag.Int64("max-body", 64<<20, "maximum upload size in bytes")
+	)
+	flag.Parse()
+
+	srv := server.New(*maxBody)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("priveletd listening on %s\n", *addr)
+	log.Fatal(httpServer.ListenAndServe())
+}

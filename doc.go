@@ -1,0 +1,53 @@
+// Package privelet is a Go implementation of Privelet, the
+// differentially-private data publishing technique of Xiao, Wang and
+// Gehrke, "Differential Privacy via Wavelet Transforms" (ICDE 2010).
+//
+// Privelet releases a noisy frequency matrix M* of a relational table
+// under ε-differential privacy. Where the classic Laplace mechanism
+// ("Basic", Dwork et al.) gives range-count queries noise variance linear
+// in the domain size m, Privelet applies a wavelet transform first — the
+// Haar transform on ordinal attributes and the paper's novel nominal
+// wavelet transform on hierarchy-bearing attributes — and calibrates
+// per-coefficient noise so every range-count query's noise variance is
+// polylogarithmic in m.
+//
+// # Quick start
+//
+//	gender, _ := privelet.FlatHierarchy(2)
+//	schema, _ := privelet.NewSchema(
+//		privelet.OrdinalAttr("Age", 101),
+//		privelet.NominalAttr("Gender", gender),
+//	)
+//	table := privelet.NewTable(schema)
+//	// ... table.Append(age, gender) for each record ...
+//
+//	rel, _ := privelet.Publish(table, privelet.Options{
+//		Epsilon: 1.0,
+//		SA:      []string{"Gender"}, // small domains skip the transform
+//		Seed:    42,
+//	})
+//	q, _ := rel.NewQuery().Range("Age", 30, 49).Build()
+//	count, _ := rel.Count(q)
+//
+// The released matrix answers arbitrarily many queries at no further
+// privacy cost; the ε budget is spent once, at Publish time.
+//
+// # Mechanism selection
+//
+// Options.SA lists attributes excluded from the wavelet transform
+// (Privelet+, §VI-D of the paper): for an attribute with |A| ≤ P(A)²·H(A)
+// plain per-entry noise is cheaper than transform-domain noise.
+// RecommendSA applies that rule. SA = nil is plain Privelet; listing every
+// attribute recovers the Basic mechanism exactly (PublishBasic is a
+// convenience for that).
+//
+// # Security note
+//
+// This library reproduces the paper's mechanisms for research and
+// benchmarking. The noise generator is a seeded deterministic PRNG so
+// experiments are replayable; a hardened production deployment must
+// instead draw from a cryptographically secure source and must not expose
+// seeds. Floating-point Laplace sampling is also subject to the usual
+// Mironov-style attacks, which the 2010 paper (and hence this
+// reproduction) predates.
+package privelet

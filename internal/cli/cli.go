@@ -1,0 +1,157 @@
+// Package cli holds the schema-clause and CSV parsing shared by the
+// command-line tools, split out of cmd/privelet so it can be tested
+// directly.
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/hierarchy"
+)
+
+// ParseSchema parses a comma-separated clause list into a schema. Clause
+// grammar (one per attribute, in column order):
+//
+//	Name:ordinal:SIZE
+//	Name:nominal:flat:LEAVES
+//	Name:nominal:3level:GROUPSxLEAVES
+func ParseSchema(spec string) (*dataset.Schema, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cli: empty schema spec")
+	}
+	var attrs []dataset.Attribute
+	for _, clause := range strings.Split(spec, ",") {
+		attr, err := parseClause(strings.TrimSpace(clause))
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, attr)
+	}
+	return dataset.NewSchema(attrs...)
+}
+
+func parseClause(clause string) (dataset.Attribute, error) {
+	parts := strings.Split(clause, ":")
+	if len(parts) < 3 {
+		return dataset.Attribute{}, fmt.Errorf("cli: clause %q: want name:kind:shape", clause)
+	}
+	name, kind := parts[0], parts[1]
+	if name == "" {
+		return dataset.Attribute{}, fmt.Errorf("cli: clause %q: empty attribute name", clause)
+	}
+	switch kind {
+	case "ordinal":
+		size, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return dataset.Attribute{}, fmt.Errorf("cli: clause %q: bad size: %w", clause, err)
+		}
+		return dataset.OrdinalAttr(name, size), nil
+	case "nominal":
+		if len(parts) < 4 {
+			return dataset.Attribute{}, fmt.Errorf("cli: clause %q: want name:nominal:flat:N or name:nominal:3level:GxL", clause)
+		}
+		switch parts[2] {
+		case "flat":
+			n, err := strconv.Atoi(parts[3])
+			if err != nil {
+				return dataset.Attribute{}, fmt.Errorf("cli: clause %q: bad leaf count: %w", clause, err)
+			}
+			h, err := hierarchy.Flat(n)
+			if err != nil {
+				return dataset.Attribute{}, fmt.Errorf("cli: clause %q: %w", clause, err)
+			}
+			return dataset.NominalAttr(name, h), nil
+		case "3level":
+			var g, l int
+			if _, err := fmt.Sscanf(parts[3], "%dx%d", &g, &l); err != nil {
+				return dataset.Attribute{}, fmt.Errorf("cli: clause %q: want GROUPSxLEAVES: %w", clause, err)
+			}
+			h, err := hierarchy.ThreeLevel(g, l)
+			if err != nil {
+				return dataset.Attribute{}, fmt.Errorf("cli: clause %q: %w", clause, err)
+			}
+			return dataset.NominalAttr(name, h), nil
+		default:
+			return dataset.Attribute{}, fmt.Errorf("cli: clause %q: unknown hierarchy shape %q", clause, parts[2])
+		}
+	default:
+		return dataset.Attribute{}, fmt.Errorf("cli: clause %q: unknown kind %q", clause, kind)
+	}
+}
+
+// ReadTable loads a headerless integer CSV whose columns match the
+// schema's attributes in order. Blank lines are skipped; values are
+// 0-based domain indices.
+func ReadTable(schema *dataset.Schema, r io.Reader) (*dataset.Table, error) {
+	table := dataset.NewTable(schema)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	vals := make([]int, schema.NumAttrs())
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != schema.NumAttrs() {
+			return nil, fmt.Errorf("cli: line %d: %d fields, want %d", line, len(fields), schema.NumAttrs())
+		}
+		for i, f := range fields {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("cli: line %d field %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		if err := table.Append(vals...); err != nil {
+			return nil, fmt.Errorf("cli: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// WriteTableCSV emits the table as a headerless integer CSV, the inverse
+// of ReadTable.
+func WriteTableCSV(w io.Writer, t *dataset.Table) error {
+	bw := bufio.NewWriter(w)
+	d := t.Schema().NumAttrs()
+	row := make([]int, d)
+	for i := 0; i < t.Len(); i++ {
+		t.Row(i, row)
+		for j, v := range row {
+			if j > 0 {
+				if _, err := bw.WriteString(","); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprint(bw, v); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SplitNonEmpty splits a comma-separated flag value, dropping empties.
+func SplitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+// Package codec serializes releases — schema, hierarchies, noisy matrix
+// and privacy accounting — to a compact, versioned binary format, so a
+// release published once can be stored, shipped, and queried elsewhere
+// without republishing (and without spending more ε).
+//
+// Format (all integers little-endian; varint = unsigned LEB128 as in
+// encoding/binary):
+//
+//	magic   "PRVL"            4 bytes
+//	version u16               currently 1
+//	meta    mechanism string, epsilon/rho/lambda/bound float64
+//	schema  attr count varint, then per attribute:
+//	          name string, kind u8, size varint,
+//	          nominal only: hierarchy in preorder
+//	            (label string, child count varint, children...)
+//	matrix  dim count varint, dims varints, entries float64 LE
+//
+// Strings are varint length + UTF-8 bytes. The format is
+// self-describing enough for forward-compatible readers to reject
+// unknown versions cleanly.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/hierarchy"
+	"repro/internal/matrix"
+)
+
+const (
+	magic   = "PRVL"
+	version = 1
+	// maxStringLen bounds decoded strings to keep corrupt inputs from
+	// allocating unbounded memory.
+	maxStringLen = 1 << 20
+)
+
+// Meta is the privacy accounting carried alongside a release.
+type Meta struct {
+	Mechanism string
+	Epsilon   float64
+	Rho       float64
+	Lambda    float64
+	Bound     float64
+}
+
+// Payload is everything a stored release contains.
+type Payload struct {
+	Meta   Meta
+	Schema *dataset.Schema
+	Noisy  *matrix.Matrix
+}
+
+// Encode writes the payload to w.
+func Encode(w io.Writer, p *Payload) error {
+	if p == nil || p.Schema == nil || p.Noisy == nil {
+		return fmt.Errorf("codec: nil payload components")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(version)); err != nil {
+		return err
+	}
+	if err := writeString(bw, p.Meta.Mechanism); err != nil {
+		return err
+	}
+	for _, f := range []float64{p.Meta.Epsilon, p.Meta.Rho, p.Meta.Lambda, p.Meta.Bound} {
+		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	if err := encodeSchema(bw, p.Schema); err != nil {
+		return err
+	}
+	if err := encodeMatrix(bw, p.Noisy); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads a payload from r.
+func Decode(r io.Reader) (*Payload, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("codec: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("codec: bad magic %q", head)
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, fmt.Errorf("codec: reading version: %w", err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("codec: unsupported version %d (want %d)", ver, version)
+	}
+	var p Payload
+	var err error
+	if p.Meta.Mechanism, err = readString(br); err != nil {
+		return nil, fmt.Errorf("codec: mechanism: %w", err)
+	}
+	for _, dst := range []*float64{&p.Meta.Epsilon, &p.Meta.Rho, &p.Meta.Lambda, &p.Meta.Bound} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("codec: meta floats: %w", err)
+		}
+	}
+	if p.Schema, err = decodeSchema(br); err != nil {
+		return nil, err
+	}
+	if p.Noisy, err = decodeMatrix(br); err != nil {
+		return nil, err
+	}
+	// Cross-validate: matrix shape must match the schema.
+	want := p.Schema.Dims()
+	got := p.Noisy.Dims()
+	if len(want) != len(got) {
+		return nil, fmt.Errorf("codec: matrix dimensionality %d does not match schema %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return nil, fmt.Errorf("codec: matrix shape %v does not match schema %v", got, want)
+		}
+	}
+	return &p, nil
+}
+
+func encodeSchema(w *bufio.Writer, s *dataset.Schema) error {
+	writeUvarint(w, uint64(s.NumAttrs()))
+	for i := 0; i < s.NumAttrs(); i++ {
+		a := s.Attr(i)
+		if err := writeString(w, a.Name); err != nil {
+			return err
+		}
+		kind := byte(0)
+		if a.Kind == dataset.Nominal {
+			kind = 1
+		}
+		if err := w.WriteByte(kind); err != nil {
+			return err
+		}
+		writeUvarint(w, uint64(a.Size))
+		if a.Kind == dataset.Nominal {
+			if err := encodeNode(w, a.Hier.Root()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func decodeSchema(r *bufio.Reader) (*dataset.Schema, error) {
+	count, err := readUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("codec: attr count: %w", err)
+	}
+	if count == 0 || count > 64 {
+		return nil, fmt.Errorf("codec: implausible attribute count %d", count)
+	}
+	attrs := make([]dataset.Attribute, 0, count)
+	for i := uint64(0); i < count; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("codec: attr %d name: %w", i, err)
+		}
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("codec: attr %d kind: %w", i, err)
+		}
+		size, err := readUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("codec: attr %d size: %w", i, err)
+		}
+		switch kind {
+		case 0:
+			attrs = append(attrs, dataset.OrdinalAttr(name, int(size)))
+		case 1:
+			root, err := decodeNode(r, 0)
+			if err != nil {
+				return nil, fmt.Errorf("codec: attr %d hierarchy: %w", i, err)
+			}
+			h, err := hierarchy.Build(root)
+			if err != nil {
+				return nil, fmt.Errorf("codec: attr %d hierarchy: %w", i, err)
+			}
+			if h.LeafCount() != int(size) {
+				return nil, fmt.Errorf("codec: attr %d: hierarchy has %d leaves, size says %d", i, h.LeafCount(), size)
+			}
+			attrs = append(attrs, dataset.NominalAttr(name, h))
+		default:
+			return nil, fmt.Errorf("codec: attr %d: unknown kind byte %d", i, kind)
+		}
+	}
+	return dataset.NewSchema(attrs...)
+}
+
+// maxHierarchyDepth bounds recursion on corrupt input.
+const maxHierarchyDepth = 64
+
+func encodeNode(w *bufio.Writer, n *hierarchy.Node) error {
+	if err := writeString(w, n.Label); err != nil {
+		return err
+	}
+	writeUvarint(w, uint64(len(n.Children)))
+	for _, c := range n.Children {
+		if err := encodeNode(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeNode(r *bufio.Reader, depth int) (*hierarchy.Node, error) {
+	if depth > maxHierarchyDepth {
+		return nil, fmt.Errorf("codec: hierarchy deeper than %d", maxHierarchyDepth)
+	}
+	label, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	kids, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if kids > 1<<20 {
+		return nil, fmt.Errorf("codec: implausible child count %d", kids)
+	}
+	n := &hierarchy.Node{Label: label}
+	for i := uint64(0); i < kids; i++ {
+		c, err := decodeNode(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
+}
+
+func encodeMatrix(w *bufio.Writer, m *matrix.Matrix) error {
+	dims := m.Dims()
+	writeUvarint(w, uint64(len(dims)))
+	for _, d := range dims {
+		writeUvarint(w, uint64(d))
+	}
+	var buf [8]byte
+	for _, v := range m.Data() {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeMatrix(r *bufio.Reader) (*matrix.Matrix, error) {
+	nd, err := readUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("codec: matrix dim count: %w", err)
+	}
+	if nd == 0 || nd > 64 {
+		return nil, fmt.Errorf("codec: implausible dimensionality %d", nd)
+	}
+	dims := make([]int, nd)
+	for i := range dims {
+		d, err := readUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("codec: matrix dim %d: %w", i, err)
+		}
+		if d == 0 || d > matrix.MaxEntries {
+			return nil, fmt.Errorf("codec: implausible dimension size %d", d)
+		}
+		dims[i] = int(d)
+	}
+	m, err := matrix.New(dims...)
+	if err != nil {
+		return nil, err
+	}
+	data := m.Data()
+	var buf [8]byte
+	for i := range data {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("codec: matrix entry %d: %w", i, err)
+		}
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return m, nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	writeUvarint(w, uint64(len(s)))
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("codec: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // bufio.Writer caches the error for Flush
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}

@@ -1,0 +1,243 @@
+// Package core implements the paper's primary contribution: the Privelet
+// and Privelet+ publishing mechanisms (§III, §VI-B, Figure 5).
+//
+// Privelet+ takes a table T, a privacy budget ε, and a subset SA of the
+// attributes. It maps T to its frequency matrix M, splits M into
+// sub-matrices along the SA dimensions, applies the HN wavelet transform
+// to each sub-matrix, injects per-coefficient Laplace noise with magnitude
+// λ/W_HN(c), inverts the transform (with mean subtraction along nominal
+// dimensions), and reassembles the noisy frequency matrix M*.
+//
+// Special cases fall out of the same code path:
+//
+//   - SA = ∅ is plain Privelet (one sub-matrix: all of M);
+//   - SA = all attributes is exactly Dwork et al.'s Basic mechanism (every
+//     sub-matrix is a single cell, the "transform" is the identity with
+//     weight 1, and λ = 2/ε).
+//
+// Privacy accounting: replacing one tuple changes two entries of M by one
+// each (sensitivity 2 in the paper's Definition 2 sense). With the HN
+// transform's generalized sensitivity ρ = ∏_{A∉SA} P(A) per unit entry
+// change, noise magnitude λ/W_HN(c) yields (2ρ/λ)-differential privacy
+// (Lemma 1 + Theorem 2); Publish therefore sets λ = 2ρ/ε.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+	"repro/internal/transform"
+)
+
+// Options configures a Publish call.
+type Options struct {
+	// Epsilon is the ε-differential-privacy budget; must be positive.
+	Epsilon float64
+	// SA lists attribute names excluded from the wavelet transform
+	// (Privelet+'s small-domain attributes). Empty means plain Privelet;
+	// all attributes means the Basic mechanism.
+	SA []string
+	// Seed drives the Laplace noise stream; equal seeds give
+	// bit-identical releases (for experiments — production releases
+	// should draw seeds from a secure source).
+	Seed uint64
+}
+
+// Result is a published noisy frequency matrix together with its privacy
+// accounting.
+type Result struct {
+	// Noisy is M*, shaped exactly like the input frequency matrix.
+	Noisy *matrix.Matrix
+	// Lambda is the base noise parameter λ = 2ρ/ε.
+	Lambda float64
+	// Rho is the generalized sensitivity of the transform used
+	// (∏_{A∉SA} P(A); 1 when SA covers every attribute).
+	Rho float64
+	// Epsilon echoes the requested budget.
+	Epsilon float64
+	// VarianceBound is Corollary 1's worst-case noise variance for any
+	// range-count query answered from Noisy.
+	VarianceBound float64
+	// SubMatrices is the number of sub-matrices processed (∏_{A∈SA}|A|).
+	SubMatrices int
+}
+
+// Publish runs Privelet+ on a table: it materializes the frequency matrix
+// and delegates to PublishMatrix. O(n + m) as the paper requires.
+func Publish(t *dataset.Table, opts Options) (*Result, error) {
+	m, err := t.FrequencyMatrix()
+	if err != nil {
+		return nil, err
+	}
+	return PublishMatrix(m, t.Schema(), opts)
+}
+
+// PublishMatrix runs Privelet+ directly on a frequency matrix. The input
+// matrix is not modified.
+func PublishMatrix(m *matrix.Matrix, schema *dataset.Schema, opts Options) (*Result, error) {
+	if opts.Epsilon <= 0 {
+		return nil, fmt.Errorf("core: epsilon must be positive, got %v", opts.Epsilon)
+	}
+	saIdx, restIdx, err := partition(schema, opts.SA)
+	if err != nil {
+		return nil, err
+	}
+	got, want := m.Dims(), schema.Dims()
+	if len(got) != len(want) {
+		return nil, fmt.Errorf("core: matrix dimensionality %d, schema has %d attributes", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return nil, fmt.Errorf("core: matrix shape %v does not match schema %v", got, want)
+		}
+	}
+	src := rng.New(opts.Seed)
+
+	// SA covers everything: Basic mechanism (Figure 5 degenerates to
+	// per-entry noise with sensitivity 2).
+	if len(restIdx) == 0 {
+		lambda := 2 / opts.Epsilon
+		noisy := m.Clone()
+		if err := privacy.InjectLaplaceUniform(noisy, lambda, src); err != nil {
+			return nil, err
+		}
+		return &Result{
+			Noisy:         noisy,
+			Lambda:        lambda,
+			Rho:           1,
+			Epsilon:       opts.Epsilon,
+			VarianceBound: privacy.BasicVarianceBound(opts.Epsilon, schema.DomainSize()),
+			SubMatrices:   m.Len(),
+		}, nil
+	}
+
+	// Build the HN transform over the non-SA dimensions.
+	allSpecs := schema.Specs()
+	restSpecs := make([]transform.Spec, len(restIdx))
+	for i, ri := range restIdx {
+		restSpecs[i] = allSpecs[ri]
+	}
+	hn, err := transform.New(restSpecs...)
+	if err != nil {
+		return nil, err
+	}
+	rho := hn.GeneralizedSensitivity()
+	lambda := 2 * rho / opts.Epsilon
+	weightVecs := make([][]float64, hn.NumDims())
+	for i := range weightVecs {
+		weightVecs[i] = hn.WeightVector(i)
+	}
+
+	noisy := m.Clone()
+	subCount := 1
+	for _, si := range saIdx {
+		subCount *= schema.Attr(si).Size
+	}
+
+	// Enumerate SA coordinate combinations (odometer), processing one
+	// sub-matrix per combination — Figure 5 steps 3–6.
+	coords := make([]int, len(saIdx))
+	for {
+		sub, err := noisy.Sub(saIdx, coords)
+		if err != nil {
+			return nil, err
+		}
+		c, err := hn.Forward(sub)
+		if err != nil {
+			return nil, err
+		}
+		if err := privacy.InjectLaplace(c, weightVecs, lambda, src); err != nil {
+			return nil, err
+		}
+		rec, err := hn.Inverse(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := noisy.SetSub(saIdx, coords, rec); err != nil {
+			return nil, err
+		}
+		if len(saIdx) == 0 {
+			break // single sub-matrix: all of M
+		}
+		k := len(coords) - 1
+		for ; k >= 0; k-- {
+			coords[k]++
+			if coords[k] < schema.Attr(saIdx[k]).Size {
+				break
+			}
+			coords[k] = 0
+		}
+		if k < 0 {
+			break
+		}
+	}
+
+	saSizes := make([]int, len(saIdx))
+	for i, si := range saIdx {
+		saSizes[i] = schema.Attr(si).Size
+	}
+	bound, err := privacy.PriveletPlusVarianceBound(opts.Epsilon, saSizes, restSpecs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Noisy:         noisy,
+		Lambda:        lambda,
+		Rho:           rho,
+		Epsilon:       opts.Epsilon,
+		VarianceBound: bound,
+		SubMatrices:   subCount,
+	}, nil
+}
+
+// partition resolves the SA names into sorted attribute indices and
+// returns (SA indices, remaining indices).
+func partition(schema *dataset.Schema, sa []string) (saIdx, restIdx []int, err error) {
+	seen := make(map[int]bool, len(sa))
+	for _, name := range sa {
+		i, err := schema.Index(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if seen[i] {
+			return nil, nil, fmt.Errorf("core: attribute %q listed twice in SA", name)
+		}
+		seen[i] = true
+		saIdx = append(saIdx, i)
+	}
+	sort.Ints(saIdx)
+	for i := 0; i < schema.NumAttrs(); i++ {
+		if !seen[i] {
+			restIdx = append(restIdx, i)
+		}
+	}
+	return saIdx, restIdx, nil
+}
+
+// RecommendSA returns the attribute names Corollary 1 suggests placing in
+// SA: those with |A| ≤ P(A)²·H(A), for which Dwork-style per-entry noise
+// beats the wavelet bound (§VI-D; the paper picks SA = {Age, Gender} for
+// the census data this way).
+func RecommendSA(schema *dataset.Schema) ([]string, error) {
+	var out []string
+	for i := 0; i < schema.NumAttrs(); i++ {
+		a := schema.Attr(i)
+		spec := schema.Specs()[i]
+		p, err := privacy.PSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		h, err := privacy.HSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if float64(a.Size) <= p*p*h {
+			out = append(out, a.Name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+// Package dataset implements the relational-table substrate of the paper
+// (§II-A): a table T over d attributes, each ordinal (discrete, ordered)
+// or nominal (discrete, hierarchy-bearing), plus the mapping from T to its
+// d-dimensional frequency matrix M (§II-B).
+//
+// The package also hosts the synthetic data generators that stand in for
+// resources the paper used but we cannot ship (see DESIGN.md §2):
+// census-like generators matching the IPUMS Brazil/US schema shapes of
+// Table III, and the uniform generator of §VII-B used for the timing
+// experiments.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/hierarchy"
+	"repro/internal/matrix"
+	"repro/internal/transform"
+)
+
+// Kind distinguishes ordinal from nominal attributes.
+type Kind int
+
+const (
+	// Ordinal attributes have a totally ordered integer domain [0, Size).
+	Ordinal Kind = iota
+	// Nominal attributes have an unordered domain with a hierarchy; the
+	// domain values are the hierarchy's leaves in imposed order.
+	Nominal
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Ordinal:
+		return "ordinal"
+	case Nominal:
+		return "nominal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute describes one column of a table.
+type Attribute struct {
+	Name string
+	Kind Kind
+	// Size is the domain size |A|. For nominal attributes it is derived
+	// from the hierarchy and may be left zero when constructing.
+	Size int
+	// Hier is required for nominal attributes.
+	Hier *hierarchy.Hierarchy
+}
+
+// OrdinalAttr returns an ordinal attribute.
+func OrdinalAttr(name string, size int) Attribute {
+	return Attribute{Name: name, Kind: Ordinal, Size: size}
+}
+
+// NominalAttr returns a nominal attribute over hierarchy h.
+func NominalAttr(name string, h *hierarchy.Hierarchy) Attribute {
+	return Attribute{Name: name, Kind: Nominal, Hier: h}
+}
+
+// HierarchyHeight returns the height of the attribute's hierarchy, or 0
+// for ordinal attributes.
+func (a Attribute) HierarchyHeight() int {
+	if a.Kind == Nominal && a.Hier != nil {
+		return a.Hier.Height()
+	}
+	return 0
+}
+
+// Schema is a validated attribute list. Construct with NewSchema.
+type Schema struct {
+	attrs  []Attribute
+	byName map[string]int
+}
+
+// NewSchema validates the attributes: unique non-empty names, positive
+// ordinal sizes, hierarchies on nominal attributes.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("dataset: schema needs at least one attribute")
+	}
+	s := &Schema{byName: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("dataset: attribute %d has empty name", i)
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a.Name)
+		}
+		switch a.Kind {
+		case Ordinal:
+			if a.Size <= 0 {
+				return nil, fmt.Errorf("dataset: ordinal attribute %q has size %d", a.Name, a.Size)
+			}
+		case Nominal:
+			if a.Hier == nil {
+				return nil, fmt.Errorf("dataset: nominal attribute %q lacks a hierarchy", a.Name)
+			}
+			if a.Size != 0 && a.Size != a.Hier.LeafCount() {
+				return nil, fmt.Errorf("dataset: nominal attribute %q size %d != leaf count %d",
+					a.Name, a.Size, a.Hier.LeafCount())
+			}
+			a.Size = a.Hier.LeafCount()
+		default:
+			return nil, fmt.Errorf("dataset: attribute %q has unknown kind %v", a.Name, a.Kind)
+		}
+		s.byName[a.Name] = i
+		s.attrs = append(s.attrs, a)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and examples.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumAttrs returns the number of attributes d.
+func (s *Schema) NumAttrs() int { return len(s.attrs) }
+
+// Attr returns attribute i.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Index returns the position of the named attribute, or an error.
+func (s *Schema) Index(name string) (int, error) {
+	i, ok := s.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("dataset: no attribute named %q", name)
+	}
+	return i, nil
+}
+
+// Dims returns the domain sizes in attribute order — the frequency
+// matrix shape.
+func (s *Schema) Dims() []int {
+	out := make([]int, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Size
+	}
+	return out
+}
+
+// DomainSize returns m = ∏|A_i|, the frequency matrix entry count.
+func (s *Schema) DomainSize() int {
+	m := 1
+	for _, a := range s.attrs {
+		m *= a.Size
+	}
+	return m
+}
+
+// Specs returns the transform dimension specs for the schema, in
+// attribute order.
+func (s *Schema) Specs() []transform.Spec {
+	out := make([]transform.Spec, len(s.attrs))
+	for i, a := range s.attrs {
+		if a.Kind == Ordinal {
+			out[i] = transform.Ordinal(a.Size)
+		} else {
+			out[i] = transform.Nominal(a.Hier)
+		}
+	}
+	return out
+}
+
+// SubSchema returns a schema over the named subset of attributes (used by
+// Privelet+ to describe sub-matrices) plus their positions in the parent.
+func (s *Schema) SubSchema(names []string) (*Schema, []int, error) {
+	var attrs []Attribute
+	var idx []int
+	for _, name := range names {
+		i, err := s.Index(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		attrs = append(attrs, s.attrs[i])
+		idx = append(idx, i)
+	}
+	sub, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, idx, nil
+}
+
+// Table is a multiset of tuples over a schema. Values are stored as a
+// flat row-major int32 slice to keep 10-million-row tables cheap.
+type Table struct {
+	schema *Schema
+	vals   []int32
+}
+
+// NewTable returns an empty table over schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{schema: schema}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of tuples n.
+func (t *Table) Len() int { return len(t.vals) / t.schema.NumAttrs() }
+
+// Append adds one tuple; vals[i] must lie in [0, |A_i|).
+func (t *Table) Append(vals ...int) error {
+	d := t.schema.NumAttrs()
+	if len(vals) != d {
+		return fmt.Errorf("dataset: tuple has %d values, want %d", len(vals), d)
+	}
+	for i, v := range vals {
+		if v < 0 || v >= t.schema.attrs[i].Size {
+			return fmt.Errorf("dataset: value %d out of domain [0,%d) for attribute %q",
+				v, t.schema.attrs[i].Size, t.schema.attrs[i].Name)
+		}
+	}
+	for _, v := range vals {
+		t.vals = append(t.vals, int32(v))
+	}
+	return nil
+}
+
+// Row copies tuple i into dst (length d) and returns it; dst may be nil.
+func (t *Table) Row(i int, dst []int) []int {
+	d := t.schema.NumAttrs()
+	if dst == nil {
+		dst = make([]int, d)
+	}
+	base := i * d
+	for j := 0; j < d; j++ {
+		dst[j] = int(t.vals[base+j])
+	}
+	return dst
+}
+
+// FrequencyMatrix maps the table to its frequency matrix M: entry
+// ⟨x_1..x_d⟩ counts the tuples equal to that coordinate vector (§II-B).
+// Runs in O(n + m).
+func (t *Table) FrequencyMatrix() (*matrix.Matrix, error) {
+	m, err := matrix.New(t.schema.Dims()...)
+	if err != nil {
+		return nil, err
+	}
+	d := t.schema.NumAttrs()
+	strides := make([]int, d)
+	strides[d-1] = 1
+	for i := d - 2; i >= 0; i-- {
+		strides[i] = strides[i+1] * t.schema.attrs[i+1].Size
+	}
+	data := m.Data()
+	for base := 0; base < len(t.vals); base += d {
+		off := 0
+		for j := 0; j < d; j++ {
+			off += int(t.vals[base+j]) * strides[j]
+		}
+		data[off]++
+	}
+	return m, nil
+}

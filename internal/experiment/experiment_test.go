@@ -1,0 +1,274 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// tinyProfile keeps unit tests fast while exercising the full pipeline.
+func tinyProfile() Profile {
+	return Profile{
+		Name: "tiny", Scale: dataset.ScaleSmall,
+		Tuples: 5_000, Queries: 600,
+		Epsilons: []float64{1.0},
+		Bins:     5, Seed: 99, SA: []string{"Age", "Gender"},
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "full"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile name %q, want %q", p.Name, name)
+		}
+		if len(p.Epsilons) != 4 {
+			t.Errorf("%s should sweep 4 epsilons", name)
+		}
+	}
+	if _, err := ProfileByName("bogus"); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestFullProfileMatchesPaper(t *testing.T) {
+	p := Full()
+	if p.Tuples != 10_000_000 || p.Queries != 40_000 {
+		t.Errorf("full profile n=%d q=%d; paper uses 10M/40k", p.Tuples, p.Queries)
+	}
+	want := []float64{0.5, 0.75, 1.0, 1.25}
+	for i, e := range want {
+		if p.Epsilons[i] != e {
+			t.Errorf("epsilon[%d] = %v, want %v", i, p.Epsilons[i], e)
+		}
+	}
+	if p.SA[0] != "Age" || p.SA[1] != "Gender" {
+		t.Errorf("SA = %v, want the paper's {Age, Gender}", p.SA)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if !strings.Contains(SquareErrorByCoverage.String(), "square") {
+		t.Error("metric string broken")
+	}
+	if !strings.Contains(RelativeErrorBySelectivity.String(), "relative") {
+		t.Error("metric string broken")
+	}
+	if Metric(9).String() == "" {
+		t.Error("unknown metric should render")
+	}
+}
+
+func TestRunAccuracySquareError(t *testing.T) {
+	prof := tinyProfile()
+	res, err := RunAccuracy(dataset.BrazilSpec(prof.Scale), prof, SquareErrorByCoverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "Brazil" {
+		t.Errorf("dataset = %q", res.Dataset)
+	}
+	if len(res.Series) != 1 {
+		t.Fatalf("series count = %d", len(res.Series))
+	}
+	rows := res.Series[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("bins = %d, want 5", len(rows))
+	}
+	// Keys (coverage) increase across bins; errors are non-negative.
+	for i, r := range rows {
+		if r.Basic < 0 || r.Privelet < 0 {
+			t.Fatalf("negative error in bin %d", i)
+		}
+		if i > 0 && r.Key < rows[i-1].Key {
+			t.Fatalf("coverage keys not sorted: %v", rows)
+		}
+	}
+	// The paper's headline: at the top coverage bin Basic's square error
+	// exceeds Privelet+'s by a wide margin.
+	top := rows[len(rows)-1]
+	if top.Basic <= top.Privelet {
+		t.Errorf("top-coverage bin: Basic %v should exceed Privelet+ %v", top.Basic, top.Privelet)
+	}
+	// And Basic's square error grows with coverage (≈ linearly).
+	if rows[4].Basic <= rows[0].Basic {
+		t.Errorf("Basic error should grow with coverage: %v vs %v", rows[4].Basic, rows[0].Basic)
+	}
+}
+
+func TestRunAccuracyRelativeError(t *testing.T) {
+	prof := tinyProfile()
+	res, err := RunAccuracy(dataset.USSpec(prof.Scale), prof, RelativeErrorBySelectivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "US" {
+		t.Errorf("dataset = %q", res.Dataset)
+	}
+	rows := res.Series[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("bins = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Basic < 0 || r.Privelet < 0 {
+			t.Fatalf("negative relative error in bin %d", i)
+		}
+	}
+}
+
+func TestRunAccuracyUnknownMetric(t *testing.T) {
+	prof := tinyProfile()
+	if _, err := RunAccuracy(dataset.BrazilSpec(prof.Scale), prof, Metric(42)); err == nil {
+		t.Error("unknown metric should fail")
+	}
+}
+
+func TestRunTimingVsN(t *testing.T) {
+	res, err := RunTimingVsN(1<<12, []int{2_000, 4_000}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Basic <= 0 || p.Privelet <= 0 {
+			t.Fatalf("non-positive timing: %+v", p)
+		}
+		if p.M <= 0 {
+			t.Fatalf("m not recorded: %+v", p)
+		}
+	}
+	if res.Points[0].N != 2_000 || res.Points[1].N != 4_000 {
+		t.Errorf("n values wrong: %+v", res.Points)
+	}
+}
+
+func TestRunTimingVsM(t *testing.T) {
+	res, err := RunTimingVsM(2_000, []int{1 << 8, 1 << 12}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Points[1].M <= res.Points[0].M {
+		t.Errorf("m should grow across points: %+v", res.Points)
+	}
+	if _, err := RunTimingVsM(100, []int{3}, 1); err == nil {
+		t.Error("tiny m should fail")
+	}
+}
+
+func TestWriteAccuracyText(t *testing.T) {
+	prof := tinyProfile()
+	res, err := RunAccuracy(dataset.BrazilSpec(prof.Scale), prof, SquareErrorByCoverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAccuracy(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Brazil", "epsilon = 1", "Basic", "Privelet+", "coverage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteAccuracyCSV(t *testing.T) {
+	prof := tinyProfile()
+	res, err := RunAccuracy(dataset.BrazilSpec(prof.Scale), prof, RelativeErrorBySelectivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAccuracyCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "dataset,metric,epsilon,key,basic,privelet,count" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if len(lines) != 1+5 {
+		t.Errorf("CSV rows = %d, want 6", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "Brazil,relative_error_by_selectivity,1,") {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+}
+
+func TestWriteTiming(t *testing.T) {
+	res, err := RunTimingVsN(1<<8, []int{1_000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTiming(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Privelet+") {
+		t.Errorf("timing output missing header:\n%s", buf.String())
+	}
+}
+
+func TestWriteTableIII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTableIII(&buf, dataset.ScaleFull); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Brazil", "US", "512 (3)", "511 (3)", "1001", "1020"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkedExamples(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WorkedExampleVD(&buf, 512, 3, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4400") {
+		t.Errorf("§V-D output missing 4400:\n%s", out)
+	}
+	if !strings.Contains(out, "288") {
+		t.Errorf("§V-D output missing 288:\n%s", out)
+	}
+	buf.Reset()
+	if err := WorkedExampleVID(&buf, 16, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "600") || !strings.Contains(out, "128") {
+		t.Errorf("§VI-D output missing bounds:\n%s", out)
+	}
+}
+
+func TestSummarizeBounds(t *testing.T) {
+	s := dataset.MustSchema(
+		dataset.OrdinalAttr("A", 4),
+		dataset.OrdinalAttr("B", 1024),
+	)
+	var buf bytes.Buffer
+	if err := SummarizeBounds(&buf, s, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "best: SA={A}") {
+		t.Errorf("expected SA={A} (small domain in SA, big one transformed):\n%s", out)
+	}
+	// All four subsets listed.
+	if strings.Count(out, "SA={") < 4 {
+		t.Errorf("not all SA subsets listed:\n%s", out)
+	}
+}

@@ -1,0 +1,119 @@
+package haar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// specForward is an independent, deliberately naive implementation of the
+// paper's §IV-A definition: for each internal node of the decomposition
+// tree, the coefficient is (avg(left leaves) − avg(right leaves))/2; the
+// base coefficient is the global mean. O(m log m); used only to
+// cross-check the O(m) production code.
+func specForward(v []float64) []float64 {
+	m := len(v)
+	out := make([]float64, m)
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	out[0] = sum / float64(m)
+	// Node k at level i covers the block of width m/2^(i-1) starting at
+	// (k − 2^(i−1))·width.
+	for k := 1; k < m; k++ {
+		level := Level(k)
+		width := m >> uint(level-1)
+		start := (k - (1 << uint(level-1))) * width
+		half := width / 2
+		var left, right float64
+		for j := 0; j < half; j++ {
+			left += v[start+j]
+			right += v[start+half+j]
+		}
+		out[k] = (left/float64(half) - right/float64(half)) / 2
+	}
+	return out
+}
+
+// specInverse implements Equation 3 verbatim: each entry is the base plus
+// the signed sum of its ancestors' coefficients.
+func specInverse(c []float64) []float64 {
+	m := len(c)
+	out := make([]float64, m)
+	l := Log2(m)
+	for pos := 0; pos < m; pos++ {
+		v := c[0]
+		// Walk down from the root; at level i the covering node for pos
+		// is 2^(i-1) + pos/(m/2^(i-1)).
+		for i := 1; i <= l; i++ {
+			width := m >> uint(i-1)
+			node := (1 << uint(i-1)) + pos/width
+			// Left or right subtree of the node?
+			if pos%width < width/2 {
+				v += c[node]
+			} else {
+				v -= c[node]
+			}
+		}
+		out[pos] = v
+	}
+	return out
+}
+
+func TestForwardMatchesSpec(t *testing.T) {
+	r := rng.New(101)
+	for _, m := range []int{2, 4, 8, 16, 64, 256} {
+		v := make([]float64, m)
+		for i := range v {
+			v[i] = r.Float64()*20 - 10
+		}
+		fast, err := Forward(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := specForward(v)
+		for k := range fast {
+			if math.Abs(fast[k]-slow[k]) > 1e-9 {
+				t.Fatalf("m=%d coefficient %d: fast %v, spec %v", m, k, fast[k], slow[k])
+			}
+		}
+	}
+}
+
+func TestInverseMatchesSpec(t *testing.T) {
+	r := rng.New(102)
+	for _, m := range []int{2, 8, 32, 128} {
+		c := make([]float64, m)
+		for i := range c {
+			c[i] = r.Float64()*6 - 3
+		}
+		fast, err := Inverse(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := specInverse(c)
+		for i := range fast {
+			if math.Abs(fast[i]-slow[i]) > 1e-9 {
+				t.Fatalf("m=%d entry %d: fast %v, spec %v", m, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestSpecSelfConsistency(t *testing.T) {
+	// The two naive implementations must invert each other, guarding
+	// against a shared misreading of the paper.
+	r := rng.New(103)
+	v := make([]float64, 32)
+	for i := range v {
+		v[i] = r.Float64() * 9
+	}
+	back := specInverse(specForward(v))
+	for i := range v {
+		if math.Abs(back[i]-v[i]) > 1e-9 {
+			t.Fatalf("spec round trip failed at %d", i)
+		}
+	}
+}

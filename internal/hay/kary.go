@@ -1,0 +1,136 @@
+package hay
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+// KaryResult is a released histogram from the k-ary variant.
+type KaryResult struct {
+	Histogram []float64
+	Epsilon   float64
+	Magnitude float64
+	Fanout    int
+	Height    int
+}
+
+// PublishKary is Publish generalized to a complete k-ary interval tree
+// (Hay et al. study the fanout as a tuning knob; k ≈ 16 often beats the
+// binary tree because the tree is shorter, so each level's noise budget
+// is larger, at the cost of wider dyadic decompositions).
+//
+// The input length is padded to the next power of k. Sensitivity is the
+// tree height (one touched node per level), and the consistency
+// post-processing uses the general closed form with fanout k.
+func PublishKary(v []float64, epsilon float64, fanout int, seed uint64) (*KaryResult, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("hay: epsilon must be positive, got %v", epsilon)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("hay: fanout must be ≥ 2, got %d", fanout)
+	}
+	if len(v) == 0 {
+		return nil, fmt.Errorf("hay: empty input")
+	}
+	m := 1
+	levels := 1
+	for m < len(v) {
+		m *= fanout
+		levels++
+	}
+
+	// tr holds one slice per level, root level first (length 1), leaves
+	// last (length m).
+	tr := make([][]float64, levels)
+	size := 1
+	for l := 0; l < levels; l++ {
+		tr[l] = make([]float64, size)
+		size *= fanout
+	}
+	copy(tr[levels-1], v)
+	for l := levels - 2; l >= 0; l-- {
+		for i := range tr[l] {
+			var s float64
+			for c := 0; c < fanout; c++ {
+				s += tr[l+1][i*fanout+c]
+			}
+			tr[l][i] = s
+		}
+	}
+
+	magnitude, err := privacy.Lambda(epsilon, float64(levels))
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(seed)
+	noisy := make([][]float64, levels)
+	for l := range tr {
+		noisy[l] = make([]float64, len(tr[l]))
+		for i, x := range tr[l] {
+			noisy[l][i] = x + src.Laplace(magnitude)
+		}
+	}
+
+	consistent := ConsistentKary(noisy, fanout)
+	hist := make([]float64, len(v))
+	copy(hist, consistent[levels-1][:len(v)])
+	return &KaryResult{
+		Histogram: hist,
+		Epsilon:   epsilon,
+		Magnitude: magnitude,
+		Fanout:    fanout,
+		Height:    levels,
+	}, nil
+}
+
+// ConsistentKary computes the minimum-L2 consistent tree for a noisy
+// k-ary level-slice tree (levels[0] = root). The input is not modified.
+//
+// Upward pass (l = number of levels at or below the node, leaves l = 1):
+//
+//	z[v] = (f^l − f^(l−1))/(f^l − 1)·y[v] + (f^(l−1) − 1)/(f^l − 1)·Σ z[children]
+//
+// Downward pass distributes each node's residual equally to its children.
+func ConsistentKary(noisy [][]float64, fanout int) [][]float64 {
+	levels := len(noisy)
+	z := make([][]float64, levels)
+	for l := range z {
+		z[l] = make([]float64, len(noisy[l]))
+	}
+	copy(z[levels-1], noisy[levels-1])
+	for l := levels - 2; l >= 0; l-- {
+		below := levels - l // levels at or below this node
+		pow := math.Pow(float64(fanout), float64(below))
+		powPrev := pow / float64(fanout)
+		wSelf := (pow - powPrev) / (pow - 1)
+		wKids := (powPrev - 1) / (pow - 1)
+		for i := range z[l] {
+			var kidSum float64
+			for c := 0; c < fanout; c++ {
+				kidSum += z[l+1][i*fanout+c]
+			}
+			z[l][i] = wSelf*noisy[l][i] + wKids*kidSum
+		}
+	}
+	x := make([][]float64, levels)
+	for l := range x {
+		x[l] = make([]float64, len(z[l]))
+	}
+	copy(x[0], z[0])
+	for l := 0; l < levels-1; l++ {
+		for i := range x[l] {
+			var kidSum float64
+			for c := 0; c < fanout; c++ {
+				kidSum += z[l+1][i*fanout+c]
+			}
+			diff := (x[l][i] - kidSum) / float64(fanout)
+			for c := 0; c < fanout; c++ {
+				x[l+1][i*fanout+c] = z[l+1][i*fanout+c] + diff
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,164 @@
+package hay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPublishKaryValidation(t *testing.T) {
+	if _, err := PublishKary(nil, 1, 2, 0); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := PublishKary([]float64{1}, 0, 2, 0); err == nil {
+		t.Error("epsilon 0 should fail")
+	}
+	if _, err := PublishKary([]float64{1}, 1, 1, 0); err == nil {
+		t.Error("fanout 1 should fail")
+	}
+}
+
+func TestPublishKaryNearNoiseless(t *testing.T) {
+	v := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5}
+	for _, f := range []int{2, 3, 4, 16} {
+		res, err := PublishKary(v, 1e9, f, 7)
+		if err != nil {
+			t.Fatalf("fanout %d: %v", f, err)
+		}
+		if len(res.Histogram) != len(v) {
+			t.Fatalf("fanout %d: histogram length %d", f, len(res.Histogram))
+		}
+		for i, want := range v {
+			if math.Abs(res.Histogram[i]-want) > 1e-3 {
+				t.Fatalf("fanout %d: histogram[%d] = %v, want ~%v", f, i, res.Histogram[i], want)
+			}
+		}
+	}
+}
+
+func TestKaryHeightAndMagnitude(t *testing.T) {
+	// 9 bins, fanout 3: pad to 9, levels = 3 (1, 3, 9).
+	res, err := PublishKary(make([]float64, 9), 1, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Height != 3 {
+		t.Errorf("height = %d, want 3", res.Height)
+	}
+	if res.Magnitude != 6 { // 2·3/1
+		t.Errorf("magnitude = %v, want 6", res.Magnitude)
+	}
+	if res.Fanout != 3 {
+		t.Errorf("fanout echo = %d", res.Fanout)
+	}
+}
+
+func TestKaryMatchesBinaryAtFanout2(t *testing.T) {
+	// PublishKary(f=2) and Publish share the tree shape and the noise
+	// calibration; their consistency post-processing must agree on the
+	// same noisy inputs. Compare via ConsistentKary vs Consistent on an
+	// identical tree.
+	const m = 16
+	r := rng.New(5)
+	heap := make([]float64, 2*m)
+	for k := 1; k < 2*m; k++ {
+		heap[k] = r.Float64()*10 - 5
+	}
+	// Convert heap layout to level slices.
+	levels := 5 // 1,2,4,8,16
+	slices := make([][]float64, levels)
+	idx := 1
+	size := 1
+	for l := 0; l < levels; l++ {
+		slices[l] = make([]float64, size)
+		copy(slices[l], heap[idx:idx+size])
+		idx += size
+		size *= 2
+	}
+	fromKary := ConsistentKary(slices, 2)
+	fromBinary := Consistent(heap, m)
+	for i := 0; i < m; i++ {
+		if math.Abs(fromKary[levels-1][i]-fromBinary[m+i]) > 1e-9 {
+			t.Fatalf("leaf %d: k-ary %v vs binary %v", i, fromKary[levels-1][i], fromBinary[m+i])
+		}
+	}
+}
+
+func TestKaryConsistencyInvariant(t *testing.T) {
+	r := rng.New(6)
+	for _, f := range []int{2, 3, 5} {
+		levels := 3
+		slices := make([][]float64, levels)
+		size := 1
+		for l := 0; l < levels; l++ {
+			slices[l] = make([]float64, size)
+			for i := range slices[l] {
+				slices[l][i] = r.Float64()*10 - 5
+			}
+			size *= f
+		}
+		x := ConsistentKary(slices, f)
+		for l := 0; l < levels-1; l++ {
+			for i := range x[l] {
+				var kidSum float64
+				for c := 0; c < f; c++ {
+					kidSum += x[l+1][i*f+c]
+				}
+				if math.Abs(x[l][i]-kidSum) > 1e-9 {
+					t.Fatalf("fanout %d level %d node %d inconsistent", f, l, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKaryFanoutTradeoff(t *testing.T) {
+	// A flatter tree (larger fanout) means fewer levels, hence smaller
+	// per-node noise. For POINT queries the leaf error should therefore
+	// not degrade when moving from fanout 2 (5 levels at m=16) to fanout
+	// 16 (2 levels). Check mean leaf MSE over trials.
+	const mSize = 256
+	truth := make([]float64, mSize)
+	r := rng.New(7)
+	for i := range truth {
+		truth[i] = math.Floor(r.Float64() * 30)
+	}
+	mse := func(fanout int) float64 {
+		var total float64
+		const trials = 120
+		for trial := 0; trial < trials; trial++ {
+			res, err := PublishKary(truth, 1.0, fanout, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range truth {
+				d := res.Histogram[i] - truth[i]
+				total += d * d
+			}
+		}
+		return total / float64(trials*mSize)
+	}
+	mse2 := mse(2)
+	mse16 := mse(16)
+	if mse16 > mse2 {
+		t.Fatalf("fanout 16 leaf MSE %v worse than fanout 2 %v; expected shorter tree to win on point queries", mse16, mse2)
+	}
+}
+
+func TestPublishKaryDeterminism(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	a, err := PublishKary(v, 1, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PublishKary(v, 1, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Histogram {
+		if a.Histogram[i] != b.Histogram[i] {
+			t.Fatal("same seed produced different k-ary releases")
+		}
+	}
+}

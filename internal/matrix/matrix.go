@@ -1,0 +1,510 @@
+// Package matrix implements the dense d-dimensional frequency matrix that
+// underlies every mechanism in this repository (paper §II-B: the lowest
+// level of the data cube of T).
+//
+// The layout is row-major over the dimension list: the last dimension is
+// contiguous in memory. Three capabilities matter to Privelet:
+//
+//   - ApplyAlong runs a one-dimensional function over every vector along a
+//     chosen dimension, optionally resizing that dimension — this is the
+//     "standard decomposition" step of the HN wavelet transform (§VI-A);
+//   - Sub/SetSub extract and re-insert the sub-matrices Privelet+ forms by
+//     fixing coordinates on the SA dimensions (Figure 5, steps 2 and 7);
+//   - PrefixSum/RangeSum turn the matrix into a summed-area table so a
+//     range-count query is answered with 2^d lookups instead of a scan.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense d-dimensional array of float64. The zero value is not
+// usable; construct with New.
+type Matrix struct {
+	dims    []int
+	strides []int
+	data    []float64
+}
+
+// MaxEntries bounds the total size New will allocate (2^31 entries, 16 GiB
+// of float64), protecting experiments from typo-sized domains.
+const MaxEntries = 1 << 31
+
+// New allocates a zero matrix with the given dimension sizes.
+func New(dims ...int) (*Matrix, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("matrix: need at least one dimension")
+	}
+	total := 1
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("matrix: dimension %d has non-positive size %d", i, d)
+		}
+		if total > MaxEntries/d {
+			return nil, fmt.Errorf("matrix: %v exceeds MaxEntries", dims)
+		}
+		total *= d
+	}
+	m := &Matrix{
+		dims:    append([]int(nil), dims...),
+		strides: make([]int, len(dims)),
+		data:    make([]float64, total),
+	}
+	m.strides[len(dims)-1] = 1
+	for i := len(dims) - 2; i >= 0; i-- {
+		m.strides[i] = m.strides[i+1] * dims[i+1]
+	}
+	return m, nil
+}
+
+// MustNew is New for dimensions known to be valid; it panics on error.
+// Intended for tests and examples.
+func MustNew(dims ...int) *Matrix {
+	m, err := New(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FromSlice builds a 1-dimensional matrix that copies v.
+func FromSlice(v []float64) (*Matrix, error) {
+	m, err := New(len(v))
+	if err != nil {
+		return nil, err
+	}
+	copy(m.data, v)
+	return m, nil
+}
+
+// Dims returns a copy of the dimension sizes.
+func (m *Matrix) Dims() []int { return append([]int(nil), m.dims...) }
+
+// NumDims returns the dimensionality d.
+func (m *Matrix) NumDims() int { return len(m.dims) }
+
+// Dim returns the size of dimension i.
+func (m *Matrix) Dim(i int) int { return m.dims[i] }
+
+// Len returns the total number of entries, the paper's m.
+func (m *Matrix) Len() int { return len(m.data) }
+
+// Data exposes the backing slice in row-major order. Mutations are
+// visible to the matrix; this is deliberate — noise injection iterates the
+// flat coefficient array directly.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Offset converts coordinates to the flat index. It panics on coordinate
+// count or range errors, which are programming errors in this codebase.
+func (m *Matrix) Offset(coords ...int) int {
+	if len(coords) != len(m.dims) {
+		panic(fmt.Sprintf("matrix: got %d coordinates for %d dimensions", len(coords), len(m.dims)))
+	}
+	off := 0
+	for i, c := range coords {
+		if c < 0 || c >= m.dims[i] {
+			panic(fmt.Sprintf("matrix: coordinate %d = %d out of [0,%d)", i, c, m.dims[i]))
+		}
+		off += c * m.strides[i]
+	}
+	return off
+}
+
+// Coords converts a flat index back to coordinates, filling dst (which
+// must have length d) and returning it.
+func (m *Matrix) Coords(offset int, dst []int) []int {
+	for i := range m.dims {
+		dst[i] = offset / m.strides[i]
+		offset %= m.strides[i]
+	}
+	return dst
+}
+
+// At returns the entry at the given coordinates.
+func (m *Matrix) At(coords ...int) float64 { return m.data[m.Offset(coords...)] }
+
+// Set stores v at the given coordinates.
+func (m *Matrix) Set(v float64, coords ...int) { m.data[m.Offset(coords...)] = v }
+
+// Add adds v to the entry at the given coordinates.
+func (m *Matrix) Add(v float64, coords ...int) { m.data[m.Offset(coords...)] += v }
+
+// Fill sets every entry to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{
+		dims:    append([]int(nil), m.dims...),
+		strides: append([]int(nil), m.strides...),
+		data:    append([]float64(nil), m.data...),
+	}
+	return out
+}
+
+// Total returns the sum of all entries (the number of tuples n when the
+// matrix is an exact frequency matrix).
+func (m *Matrix) Total() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// L1Distance returns ‖m − o‖₁, the distance used by the generalized
+// sensitivity definition (Definition 3). Shapes must match.
+func (m *Matrix) L1Distance(o *Matrix) (float64, error) {
+	if !sameDims(m.dims, o.dims) {
+		return 0, fmt.Errorf("matrix: L1Distance shape mismatch %v vs %v", m.dims, o.dims)
+	}
+	s := 0.0
+	for i, v := range m.data {
+		s += math.Abs(v - o.data[i])
+	}
+	return s, nil
+}
+
+// MaxAbsDiff returns max|m−o| entry-wise; shapes must match.
+func (m *Matrix) MaxAbsDiff(o *Matrix) (float64, error) {
+	if !sameDims(m.dims, o.dims) {
+		return 0, fmt.Errorf("matrix: MaxAbsDiff shape mismatch %v vs %v", m.dims, o.dims)
+	}
+	d := 0.0
+	for i, v := range m.data {
+		if a := math.Abs(v - o.data[i]); a > d {
+			d = a
+		}
+	}
+	return d, nil
+}
+
+// AlmostEqual reports whether every entry differs by at most tol.
+func (m *Matrix) AlmostEqual(o *Matrix, tol float64) bool {
+	d, err := m.MaxAbsDiff(o)
+	return err == nil && d <= tol
+}
+
+func sameDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VectorsAlong returns the number of one-dimensional vectors along dim:
+// Len()/Dim(dim).
+func (m *Matrix) VectorsAlong(dim int) int { return len(m.data) / m.dims[dim] }
+
+// ApplyAlong applies f to every vector along dimension dim and returns a
+// new matrix in which that dimension has size newSize. f receives the
+// source vector (length Dim(dim)) and the destination (length newSize);
+// it must fill dst completely. Vectors are materialized through scratch
+// buffers so f sees contiguous slices regardless of stride.
+//
+// This is the engine of the standard decomposition (§VI-A): a forward
+// wavelet step grows the dimension from |A| to the coefficient count and
+// an inverse step shrinks it back.
+func (m *Matrix) ApplyAlong(dim int, newSize int, f func(src, dst []float64)) (*Matrix, error) {
+	if dim < 0 || dim >= len(m.dims) {
+		return nil, fmt.Errorf("matrix: ApplyAlong dimension %d out of range", dim)
+	}
+	if newSize <= 0 {
+		return nil, fmt.Errorf("matrix: ApplyAlong newSize %d must be positive", newSize)
+	}
+	newDims := append([]int(nil), m.dims...)
+	newDims[dim] = newSize
+	out, err := New(newDims...)
+	if err != nil {
+		return nil, err
+	}
+
+	oldSize := m.dims[dim]
+	srcStride := m.strides[dim]
+	dstStride := out.strides[dim]
+	// Vectors along dim enumerate as (outer, inner) pairs: outer indexes
+	// the combined dimensions before dim, inner the ones after.
+	inner := srcStride // product of dims after dim
+	outer := len(m.data) / (oldSize * inner)
+
+	src := make([]float64, oldSize)
+	dst := make([]float64, newSize)
+	for o := 0; o < outer; o++ {
+		srcBase := o * oldSize * inner
+		dstBase := o * newSize * inner
+		for in := 0; in < inner; in++ {
+			so := srcBase + in
+			for j := 0; j < oldSize; j++ {
+				src[j] = m.data[so+j*srcStride]
+			}
+			f(src, dst)
+			do := dstBase + in
+			for j := 0; j < newSize; j++ {
+				out.data[do+j*dstStride] = dst[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sub extracts the sub-matrix obtained by fixing the listed dimensions at
+// the given coordinates; the result keeps the remaining dimensions in
+// order. fixedDims must be strictly increasing; at least one dimension
+// must remain free.
+func (m *Matrix) Sub(fixedDims, fixedCoords []int) (*Matrix, error) {
+	freeDims, baseOff, err := m.subLayout(fixedDims, fixedCoords)
+	if err != nil {
+		return nil, err
+	}
+	shape := make([]int, len(freeDims))
+	for i, d := range freeDims {
+		shape[i] = m.dims[d]
+	}
+	out, err := New(shape...)
+	if err != nil {
+		return nil, err
+	}
+	m.walkSub(freeDims, baseOff, func(srcOff, dstOff int) {
+		out.data[dstOff] = m.data[srcOff]
+	})
+	return out, nil
+}
+
+// SetSub writes sub back into the region addressed by the fixed
+// dimensions; the inverse of Sub.
+func (m *Matrix) SetSub(fixedDims, fixedCoords []int, sub *Matrix) error {
+	freeDims, baseOff, err := m.subLayout(fixedDims, fixedCoords)
+	if err != nil {
+		return err
+	}
+	if len(sub.dims) != len(freeDims) {
+		return fmt.Errorf("matrix: SetSub dimensionality %d, want %d", len(sub.dims), len(freeDims))
+	}
+	for i, d := range freeDims {
+		if sub.dims[i] != m.dims[d] {
+			return fmt.Errorf("matrix: SetSub dim %d size %d, want %d", i, sub.dims[i], m.dims[d])
+		}
+	}
+	m.walkSub(freeDims, baseOff, func(srcOff, dstOff int) {
+		m.data[srcOff] = sub.data[dstOff]
+	})
+	return nil
+}
+
+// subLayout validates the fixed-dimension spec and returns the free
+// dimensions plus the base offset contributed by the fixed coordinates.
+func (m *Matrix) subLayout(fixedDims, fixedCoords []int) (freeDims []int, baseOff int, err error) {
+	if len(fixedDims) != len(fixedCoords) {
+		return nil, 0, fmt.Errorf("matrix: %d fixed dims but %d coords", len(fixedDims), len(fixedCoords))
+	}
+	if len(fixedDims) >= len(m.dims) {
+		return nil, 0, fmt.Errorf("matrix: fixing %d of %d dimensions leaves nothing free", len(fixedDims), len(m.dims))
+	}
+	fixed := make(map[int]bool, len(fixedDims))
+	prev := -1
+	for i, d := range fixedDims {
+		if d < 0 || d >= len(m.dims) {
+			return nil, 0, fmt.Errorf("matrix: fixed dimension %d out of range", d)
+		}
+		if d <= prev {
+			return nil, 0, fmt.Errorf("matrix: fixed dimensions must be strictly increasing, got %v", fixedDims)
+		}
+		prev = d
+		c := fixedCoords[i]
+		if c < 0 || c >= m.dims[d] {
+			return nil, 0, fmt.Errorf("matrix: fixed coordinate %d out of [0,%d) for dimension %d", c, m.dims[d], d)
+		}
+		fixed[d] = true
+		baseOff += c * m.strides[d]
+	}
+	for d := range m.dims {
+		if !fixed[d] {
+			freeDims = append(freeDims, d)
+		}
+	}
+	return freeDims, baseOff, nil
+}
+
+// walkSub enumerates the cross product of the free dimensions, invoking
+// visit with the offset into m and the row-major offset into the compact
+// sub-matrix.
+func (m *Matrix) walkSub(freeDims []int, baseOff int, visit func(srcOff, dstOff int)) {
+	idx := make([]int, len(freeDims))
+	srcOff := baseOff
+	dstOff := 0
+	for {
+		visit(srcOff, dstOff)
+		dstOff++
+		// Odometer increment over free dimensions, last varies fastest.
+		k := len(freeDims) - 1
+		for ; k >= 0; k-- {
+			d := freeDims[k]
+			idx[k]++
+			srcOff += m.strides[d]
+			if idx[k] < m.dims[d] {
+				break
+			}
+			srcOff -= idx[k] * m.strides[d]
+			idx[k] = 0
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
+// PrefixSum converts the matrix in place into a d-dimensional summed-area
+// table: entry x becomes the sum of all entries with coordinates ≤ x
+// component-wise.
+func (m *Matrix) PrefixSum() {
+	for dim := range m.dims {
+		size := m.dims[dim]
+		stride := m.strides[dim]
+		inner := stride
+		outer := len(m.data) / (size * inner)
+		for o := 0; o < outer; o++ {
+			base := o * size * inner
+			for in := 0; in < inner; in++ {
+				off := base + in
+				for j := 1; j < size; j++ {
+					m.data[off+j*stride] += m.data[off+(j-1)*stride]
+				}
+			}
+		}
+	}
+}
+
+// RangeSum evaluates the sum of the original entries inside the
+// inclusive hyper-rectangle [lo, hi] of a matrix previously transformed by
+// PrefixSum, using inclusion-exclusion over the 2^d corners.
+func (m *Matrix) RangeSum(lo, hi []int) (float64, error) {
+	d := len(m.dims)
+	if len(lo) != d || len(hi) != d {
+		return 0, fmt.Errorf("matrix: RangeSum bounds dimensionality mismatch")
+	}
+	for i := 0; i < d; i++ {
+		if lo[i] < 0 || hi[i] >= m.dims[i] || lo[i] > hi[i] {
+			return 0, fmt.Errorf("matrix: RangeSum bounds [%d,%d] invalid for dimension %d of size %d",
+				lo[i], hi[i], i, m.dims[i])
+		}
+	}
+	total := 0.0
+	for mask := 0; mask < 1<<d; mask++ {
+		off := 0
+		sign := 1.0
+		skip := false
+		for i := 0; i < d; i++ {
+			if mask&(1<<i) != 0 {
+				if lo[i] == 0 {
+					skip = true // the lo-1 face is outside the table: term is 0
+					break
+				}
+				off += (lo[i] - 1) * m.strides[i]
+				sign = -sign
+			} else {
+				off += hi[i] * m.strides[i]
+			}
+		}
+		if skip {
+			continue
+		}
+		total += sign * m.data[off]
+	}
+	return total, nil
+}
+
+// NaiveRangeSum sums the entries inside [lo, hi] by direct enumeration.
+// It is the reference implementation RangeSum is tested against and the
+// fallback when no prefix table has been built.
+func (m *Matrix) NaiveRangeSum(lo, hi []int) (float64, error) {
+	d := len(m.dims)
+	if len(lo) != d || len(hi) != d {
+		return 0, fmt.Errorf("matrix: NaiveRangeSum bounds dimensionality mismatch")
+	}
+	for i := 0; i < d; i++ {
+		if lo[i] < 0 || hi[i] >= m.dims[i] || lo[i] > hi[i] {
+			return 0, fmt.Errorf("matrix: NaiveRangeSum bounds [%d,%d] invalid for dimension %d", lo[i], hi[i], i)
+		}
+	}
+	idx := append([]int(nil), lo...)
+	total := 0.0
+	for {
+		off := 0
+		for i, c := range idx {
+			off += c * m.strides[i]
+		}
+		total += m.data[off]
+		k := d - 1
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] <= hi[k] {
+				break
+			}
+			idx[k] = lo[k]
+		}
+		if k < 0 {
+			return total, nil
+		}
+	}
+}
+
+// Pad returns a copy with dimension dim grown to newSize; new entries are
+// zero (the paper's dummy values for power-of-two padding). If newSize
+// equals the current size the matrix is cloned.
+func (m *Matrix) Pad(dim, newSize int) (*Matrix, error) {
+	if dim < 0 || dim >= len(m.dims) {
+		return nil, fmt.Errorf("matrix: Pad dimension %d out of range", dim)
+	}
+	if newSize < m.dims[dim] {
+		return nil, fmt.Errorf("matrix: Pad cannot shrink dimension %d from %d to %d", dim, m.dims[dim], newSize)
+	}
+	old := m.dims[dim]
+	return m.ApplyAlong(dim, newSize, func(src, dst []float64) {
+		copy(dst, src)
+		for j := old; j < newSize; j++ {
+			dst[j] = 0
+		}
+	})
+}
+
+// Truncate returns a copy with dimension dim shrunk to newSize, dropping
+// the tail entries (the inverse of Pad).
+func (m *Matrix) Truncate(dim, newSize int) (*Matrix, error) {
+	if dim < 0 || dim >= len(m.dims) {
+		return nil, fmt.Errorf("matrix: Truncate dimension %d out of range", dim)
+	}
+	if newSize > m.dims[dim] {
+		return nil, fmt.Errorf("matrix: Truncate cannot grow dimension %d from %d to %d", dim, m.dims[dim], newSize)
+	}
+	return m.ApplyAlong(dim, newSize, func(src, dst []float64) {
+		copy(dst, src[:newSize])
+	})
+}
+
+// AddMatrix adds o into m entry-wise; shapes must match.
+func (m *Matrix) AddMatrix(o *Matrix) error {
+	if !sameDims(m.dims, o.dims) {
+		return fmt.Errorf("matrix: AddMatrix shape mismatch %v vs %v", m.dims, o.dims)
+	}
+	for i := range m.data {
+		m.data[i] += o.data[i]
+	}
+	return nil
+}
+
+// Scale multiplies every entry by k.
+func (m *Matrix) Scale(k float64) {
+	for i := range m.data {
+		m.data[i] *= k
+	}
+}

@@ -1,0 +1,142 @@
+package nominal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/rng"
+)
+
+// specForward implements §V-A's definition verbatim and independently of
+// the production code: the base coefficient is the total leaf-sum; every
+// other node's coefficient is its leaf-sum minus the average leaf-sum of
+// its parent's children. O(nodes · leaves).
+func specForward(h *hierarchy.Hierarchy, v []float64) []float64 {
+	leafSum := func(n *hierarchy.Node) float64 {
+		s := 0.0
+		for i := n.LeafLo; i <= n.LeafHi; i++ {
+			s += v[i]
+		}
+		return s
+	}
+	out := make([]float64, h.NodeCount())
+	for _, n := range h.Nodes() {
+		if n.Parent == nil {
+			out[n.ID] = leafSum(n)
+			continue
+		}
+		avg := 0.0
+		for _, sib := range n.Parent.Children {
+			avg += leafSum(sib)
+		}
+		avg /= float64(n.Parent.Fanout())
+		out[n.ID] = leafSum(n) - avg
+	}
+	return out
+}
+
+// specInverse implements Equation 5 verbatim for each entry: walk the
+// ancestor chain multiplying reciprocal fanouts.
+func specInverse(h *hierarchy.Hierarchy, c []float64) []float64 {
+	out := make([]float64, h.LeafCount())
+	for _, leaf := range h.Leaves() {
+		// Ancestors from the leaf's H-node up to the root.
+		var chain []*hierarchy.Node
+		for n := leaf; n != nil; n = n.Parent {
+			chain = append(chain, n)
+		}
+		// chain[0] = leaf node (c_{h−1}), chain[len-1] = root (c_0).
+		v := c[chain[0].ID]
+		factor := 1.0
+		for j := 1; j < len(chain); j++ {
+			factor /= float64(chain[j].Fanout())
+			v += c[chain[j].ID] * factor
+		}
+		out[leaf.LeafLo] = v
+	}
+	return out
+}
+
+func specHierarchies(t *testing.T) []*hierarchy.Hierarchy {
+	t.Helper()
+	var out []*hierarchy.Hierarchy
+	for _, build := range []func() (*hierarchy.Hierarchy, error){
+		func() (*hierarchy.Hierarchy, error) { return hierarchy.Flat(6) },
+		func() (*hierarchy.Hierarchy, error) { return hierarchy.ThreeLevel(2, 3) },
+		func() (*hierarchy.Hierarchy, error) { return hierarchy.ThreeLevel(5, 4) },
+		func() (*hierarchy.Hierarchy, error) { return hierarchy.FromFanouts(2, 3, 2) },
+		func() (*hierarchy.Hierarchy, error) { return hierarchy.FromFanouts(4, 4) },
+	} {
+		h, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+func TestForwardMatchesSpec(t *testing.T) {
+	r := rng.New(201)
+	for hi, h := range specHierarchies(t) {
+		tr, err := New(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := make([]float64, h.LeafCount())
+		for i := range v {
+			v[i] = r.Float64()*30 - 15
+		}
+		fast, err := tr.Forward(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := specForward(h, v)
+		for k := range fast {
+			if math.Abs(fast[k]-slow[k]) > 1e-9 {
+				t.Fatalf("hierarchy %d coefficient %d: fast %v, spec %v", hi, k, fast[k], slow[k])
+			}
+		}
+	}
+}
+
+func TestInverseMatchesSpec(t *testing.T) {
+	r := rng.New(202)
+	for hi, h := range specHierarchies(t) {
+		tr, err := New(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := make([]float64, tr.OutputSize())
+		for i := range c {
+			c[i] = r.Float64()*8 - 4
+		}
+		fast, err := tr.Inverse(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := specInverse(h, c)
+		for i := range fast {
+			if math.Abs(fast[i]-slow[i]) > 1e-9 {
+				t.Fatalf("hierarchy %d entry %d: fast %v, spec %v", hi, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestSpecSelfConsistency(t *testing.T) {
+	r := rng.New(203)
+	for _, h := range specHierarchies(t) {
+		v := make([]float64, h.LeafCount())
+		for i := range v {
+			v[i] = math.Floor(r.Float64() * 12)
+		}
+		back := specInverse(h, specForward(h, v))
+		for i := range v {
+			if math.Abs(back[i]-v[i]) > 1e-9 {
+				t.Fatalf("spec round trip failed at leaf %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package rng provides a small, deterministic random number generator and
+// the distribution samplers the Privelet mechanisms need.
+//
+// All randomness in this repository flows through rng.Source so that every
+// experiment is reproducible from a single uint64 seed, independent of any
+// changes to math/rand across Go releases. The generator is splitmix64
+// (Steele, Lea, Flood 2014), which passes BigCrush and is trivially
+// seedable; it is not cryptographically secure, which is acceptable here
+// because we reproduce a paper's statistical behaviour rather than ship a
+// hardened DP release pipeline (see README: "Security note").
+package rng
+
+import (
+	"errors"
+	"math"
+)
+
+// Source is a deterministic pseudo-random generator. The zero value is a
+// valid generator seeded with 0; use New to seed explicitly.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Distinct seeds yield independent-
+// looking streams; the same seed always yields the same stream.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split derives a new independent Source from s. The derived stream does
+// not overlap the parent's future output for any practical draw count,
+// because the child is seeded from a dedicated draw of the parent.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1). It uses the top 53 bits of
+// a Uint64 draw, so every representable value in [0,1) with 53-bit
+// precision is possible.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, mirroring
+// math/rand. Modulo bias is removed by rejection sampling.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	bound := uint64(n)
+	// Rejection threshold: the largest multiple of bound below 2^64.
+	limit := -bound % bound // == (2^64 - bound) mod bound == 2^64 mod bound
+	for {
+		v := s.Uint64()
+		if v >= limit {
+			return int(v % bound)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// NormFloat64 returns a standard normal draw using the Box-Muller
+// transform. Two uniforms are consumed per call; no state is cached so
+// that Source remains a plain value type with one word of state.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u1 := s.Float64()
+		if u1 == 0 {
+			continue // avoid log(0)
+		}
+		u2 := s.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Laplace returns one draw from the Laplace (double exponential)
+// distribution with mean 0 and the given magnitude (scale) b, whose
+// density is (1/2b)·exp(-|x|/b) — Equation 1 of the paper. The variance of
+// the returned variable is 2b².
+//
+// A non-positive magnitude returns 0: the mechanisms use magnitude 0 to
+// encode "this coefficient needs no noise" (e.g. structurally-zero nominal
+// coefficients under fanout-1 groups).
+func (s *Source) Laplace(magnitude float64) float64 {
+	if magnitude <= 0 {
+		return 0
+	}
+	// Inverse CDF applied to u uniform in (-1/2, 1/2]:
+	//   x = -b · sgn(u) · ln(1 - 2|u|)
+	u := s.Float64() - 0.5
+	if u == -0.5 {
+		u = 0.5 // map the single excluded endpoint to its mirror
+	}
+	if u < 0 {
+		return magnitude * math.Log(1+2*u) // note Log(1-2|u|) with sign folded in
+	}
+	return -magnitude * math.Log(1-2*u)
+}
+
+// LaplaceVec fills dst with independent Laplace draws of the given
+// magnitude.
+func (s *Source) LaplaceVec(dst []float64, magnitude float64) {
+	for i := range dst {
+		dst[i] = s.Laplace(magnitude)
+	}
+}
+
+// Geometric returns a draw from the geometric distribution on {0, 1, ...}
+// with success probability p. Used by the synthetic data generators.
+func (s *Source) Geometric(p float64) (int, error) {
+	if p <= 0 || p > 1 {
+		return 0, errors.New("rng: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0, nil
+	}
+	u := s.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p))), nil
+}
+
+// Zipf draws from a Zipf-like distribution over [0, n) with exponent
+// alpha > 0: P(k) ∝ (k+1)^(-alpha). The cumulative table is rebuilt per
+// call only when n differs from the cached table; callers that need many
+// draws should use NewZipf.
+func (s *Source) Zipf(n int, alpha float64) int {
+	z := NewZipf(n, alpha)
+	return z.Draw(s)
+}
+
+// Zipfian is a precomputed sampler for the Zipf distribution over [0, n).
+type Zipfian struct {
+	cdf []float64
+}
+
+// NewZipf builds the cumulative table for P(k) ∝ (k+1)^(-alpha), k ∈ [0,n).
+// It panics if n <= 0 or alpha < 0, which are programming errors.
+func NewZipf(n int, alpha float64) *Zipfian {
+	if n <= 0 {
+		panic("rng: NewZipf requires n > 0")
+	}
+	if alpha < 0 {
+		panic("rng: NewZipf requires alpha >= 0")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -alpha)
+		cdf[k] = total
+	}
+	for k := range cdf {
+		cdf[k] /= total
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipfian{cdf: cdf}
+}
+
+// Draw samples one value in [0, n) using binary search over the CDF.
+func (z *Zipfian) Draw(s *Source) int {
+	u := s.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,312 @@
+// Package server exposes releases over HTTP so analysts can query a
+// published noisy matrix without the raw data (or the Go library). It is
+// the thin "serving" layer a downstream deployment of Privelet needs:
+// the privacy budget was spent at publish time, so the server can answer
+// unlimited queries with no further accounting.
+//
+// Endpoints:
+//
+//	POST /publish?schema=...&epsilon=...&sa=...&seed=...&mechanism=...
+//	     body: headerless integer CSV           → {"id": "...", ...}
+//	GET  /releases                              → list of release summaries
+//	GET  /releases/{id}                         → one summary
+//	GET  /releases/{id}/count?q=...             → {"count": ...}
+//	GET  /releases/{id}/export                  → binary codec payload
+//
+// Query syntax (q parameter): comma-separated predicates,
+//
+//	Age=30..49        ordinal interval (inclusive)
+//	Occupation=@g3    nominal hierarchy node (roll-up)
+//	Gender=#1         nominal single leaf by position
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cli"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/query"
+)
+
+// release is one stored publication.
+type release struct {
+	id     string
+	schema *dataset.Schema
+	noisy  *matrix.Matrix
+	eval   *query.Evaluator
+	meta   codec.Meta
+}
+
+// Server is an in-memory release store with an HTTP front end. The zero
+// value is not usable; construct with New.
+type Server struct {
+	mu       sync.RWMutex
+	releases map[string]*release
+	nextID   int
+	// maxBody bounds the accepted CSV upload size.
+	maxBody int64
+}
+
+// New returns an empty server. maxBodyBytes bounds uploads (≤ 0 means
+// the default 64 MiB).
+func New(maxBodyBytes int64) *Server {
+	if maxBodyBytes <= 0 {
+		maxBodyBytes = 64 << 20
+	}
+	return &Server{
+		releases: make(map[string]*release),
+		maxBody:  maxBodyBytes,
+	}
+}
+
+// Handler returns the HTTP handler for the server's API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /publish", s.handlePublish)
+	mux.HandleFunc("GET /releases", s.handleList)
+	mux.HandleFunc("GET /releases/{id}", s.handleGet)
+	mux.HandleFunc("GET /releases/{id}/count", s.handleCount)
+	mux.HandleFunc("GET /releases/{id}/export", s.handleExport)
+	return mux
+}
+
+// summary is the JSON view of a release.
+type summary struct {
+	ID        string   `json:"id"`
+	Mechanism string   `json:"mechanism"`
+	Epsilon   float64  `json:"epsilon"`
+	Rho       float64  `json:"rho"`
+	Lambda    float64  `json:"lambda"`
+	Bound     float64  `json:"variance_bound"`
+	Entries   int      `json:"entries"`
+	Attrs     []string `json:"attributes"`
+}
+
+func (r *release) summarize() summary {
+	attrs := make([]string, r.schema.NumAttrs())
+	for i := range attrs {
+		attrs[i] = r.schema.Attr(i).Name
+	}
+	return summary{
+		ID:        r.id,
+		Mechanism: r.meta.Mechanism,
+		Epsilon:   r.meta.Epsilon,
+		Rho:       r.meta.Rho,
+		Lambda:    r.meta.Lambda,
+		Bound:     r.meta.Bound,
+		Entries:   r.noisy.Len(),
+		Attrs:     attrs,
+	}
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
+	qp := req.URL.Query()
+	schemaSpec := qp.Get("schema")
+	if schemaSpec == "" {
+		httpError(w, http.StatusBadRequest, "missing schema parameter")
+		return
+	}
+	schema, err := cli.ParseSchema(schemaSpec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	epsilon := 1.0
+	if v := qp.Get("epsilon"); v != "" {
+		if epsilon, err = strconv.ParseFloat(v, 64); err != nil {
+			httpError(w, http.StatusBadRequest, "bad epsilon: "+err.Error())
+			return
+		}
+	}
+	var seed uint64
+	if v := qp.Get("seed"); v != "" {
+		if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			httpError(w, http.StatusBadRequest, "bad seed: "+err.Error())
+			return
+		}
+	}
+	sa := cli.SplitNonEmpty(qp.Get("sa"))
+	mechanism := qp.Get("mechanism")
+	if mechanism == "" {
+		mechanism = "privelet+"
+	}
+
+	table, err := cli.ReadTable(schema, http.MaxBytesReader(w, req.Body, s.maxBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	var noisy *matrix.Matrix
+	var meta codec.Meta
+	switch mechanism {
+	case "privelet+":
+		res, err := core.Publish(table, core.Options{Epsilon: epsilon, SA: sa, Seed: seed})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		noisy = res.Noisy
+		meta = codec.Meta{Mechanism: mechanism, Epsilon: res.Epsilon, Rho: res.Rho, Lambda: res.Lambda, Bound: res.VarianceBound}
+	case "basic":
+		res, err := core.Publish(table, core.Options{Epsilon: epsilon, SA: allNames(schema), Seed: seed})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		noisy = res.Noisy
+		meta = codec.Meta{Mechanism: mechanism, Epsilon: res.Epsilon, Rho: res.Rho, Lambda: res.Lambda, Bound: res.VarianceBound}
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown mechanism %q", mechanism))
+		return
+	}
+
+	rel := &release{
+		schema: schema,
+		noisy:  noisy,
+		eval:   query.NewEvaluator(noisy),
+		meta:   meta,
+	}
+	s.mu.Lock()
+	s.nextID++
+	rel.id = fmt.Sprintf("r%d", s.nextID)
+	s.releases[rel.id] = rel
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, rel.summarize())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	out := make([]summary, 0, len(s.releases))
+	for _, r := range s.releases {
+		out = append(out, r.summarize())
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, req *http.Request) *release {
+	id := req.PathValue("id")
+	s.mu.RLock()
+	rel := s.releases[id]
+	s.mu.RUnlock()
+	if rel == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no release %q", id))
+		return nil
+	}
+	return rel
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	if rel := s.lookup(w, req); rel != nil {
+		writeJSON(w, http.StatusOK, rel.summarize())
+	}
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, req *http.Request) {
+	rel := s.lookup(w, req)
+	if rel == nil {
+		return
+	}
+	q, err := ParseQuery(rel.schema, req.URL.Query().Get("q"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	count, err := rel.eval.Count(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":    count,
+		"coverage": q.Coverage(),
+	})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, req *http.Request) {
+	rel := s.lookup(w, req)
+	if rel == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	payload := &codec.Payload{Meta: rel.meta, Schema: rel.schema, Noisy: rel.noisy}
+	if err := codec.Encode(w, payload); err != nil {
+		// Headers are already sent; nothing sane to do but log-by-status.
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// ParseQuery parses the q= syntax: comma-separated predicates of the
+// forms Attr=lo..hi (ordinal), Attr=@label (hierarchy node), Attr=#leaf
+// (nominal leaf index). An empty string is the full-domain query.
+func ParseQuery(schema *dataset.Schema, raw string) (query.Query, error) {
+	b := query.NewBuilder(schema)
+	if strings.TrimSpace(raw) == "" {
+		return b.Build()
+	}
+	for _, clause := range strings.Split(raw, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return query.Query{}, fmt.Errorf("server: predicate %q: want Attr=spec", clause)
+		}
+		name = strings.TrimSpace(name)
+		val = strings.TrimSpace(val)
+		switch {
+		case strings.HasPrefix(val, "@"):
+			b.Node(name, val[1:])
+		case strings.HasPrefix(val, "#"):
+			leaf, err := strconv.Atoi(val[1:])
+			if err != nil {
+				return query.Query{}, fmt.Errorf("server: predicate %q: bad leaf: %w", clause, err)
+			}
+			b.Leaf(name, leaf)
+		default:
+			loStr, hiStr, ok := strings.Cut(val, "..")
+			if !ok {
+				return query.Query{}, fmt.Errorf("server: predicate %q: want lo..hi, @node or #leaf", clause)
+			}
+			lo, err := strconv.Atoi(strings.TrimSpace(loStr))
+			if err != nil {
+				return query.Query{}, fmt.Errorf("server: predicate %q: bad lo: %w", clause, err)
+			}
+			hi, err := strconv.Atoi(strings.TrimSpace(hiStr))
+			if err != nil {
+				return query.Query{}, fmt.Errorf("server: predicate %q: bad hi: %w", clause, err)
+			}
+			b.Range(name, lo, hi)
+		}
+	}
+	return b.Build()
+}
+
+func allNames(s *dataset.Schema) []string {
+	out := make([]string, s.NumAttrs())
+	for i := range out {
+		out[i] = s.Attr(i).Name
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,186 @@
+// Package stats provides the summary statistics and distributional tests
+// used across the experiment harness and the test suite: moments,
+// quantiles, empirical CDFs and a one-sample Kolmogorov–Smirnov test.
+// Everything is plain stdlib math — no external scientific dependencies,
+// matching the repository's offline constraint.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the first two moments and extrema of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n−1 denominator)
+	Min, Max float64
+}
+
+// Summarize computes a Summary in one pass (Welford's algorithm, which is
+// numerically stable for the long noise-sample vectors the tests use).
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var m2 float64
+	for i, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		delta := x - s.Mean
+		s.Mean += delta / float64(i+1)
+		m2 += delta * (x - s.Mean)
+	}
+	if s.N > 1 {
+		s.Variance = m2 / float64(s.N-1)
+	}
+	return s, nil
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of the sample using linear
+// interpolation between order statistics (type-7, the spreadsheet/NumPy
+// default). The input is not modified.
+func Quantile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: empty sample")
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// LaplaceCDF evaluates the CDF of the zero-mean Laplace distribution with
+// the given magnitude (scale) b at x.
+func LaplaceCDF(b float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x < 0 {
+			return 0.5 * math.Exp(x/b)
+		}
+		return 1 - 0.5*math.Exp(-x/b)
+	}
+}
+
+// NormalCDF evaluates the CDF of the normal distribution with the given
+// mean and standard deviation at x.
+func NormalCDF(mean, sd float64) func(float64) float64 {
+	return func(x float64) float64 {
+		return 0.5 * math.Erfc(-(x-mean)/(sd*math.Sqrt2))
+	}
+}
+
+// KSStatistic returns the one-sample Kolmogorov–Smirnov statistic
+// D_n = sup_x |F_n(x) − F(x)| of the sample against the given CDF.
+func KSStatistic(xs []float64, cdf func(float64) float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, fmt.Errorf("stats: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		// Both one-sided gaps around the step at x.
+		if gap := float64(i+1)/float64(n) - f; gap > d {
+			d = gap
+		}
+		if gap := f - float64(i)/float64(n); gap > d {
+			d = gap
+		}
+	}
+	return d, nil
+}
+
+// KSTest reports whether the sample is consistent with the CDF at
+// significance level alpha ∈ {0.01, 0.05, 0.10}, using the asymptotic
+// critical value c(α)·√(1/n) with c = √(−ln(α/2)/2). Returns the
+// statistic, the critical value, and pass/fail.
+func KSTest(xs []float64, cdf func(float64) float64, alpha float64) (d, critical float64, ok bool, err error) {
+	d, err = KSStatistic(xs, cdf)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, 0, false, fmt.Errorf("stats: alpha %v outside (0,1)", alpha)
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	critical = c / math.Sqrt(float64(len(xs)))
+	return d, critical, d <= critical, nil
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length samples.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 points")
+	}
+	sx, err := Summarize(xs)
+	if err != nil {
+		return 0, err
+	}
+	sy, err := Summarize(ys)
+	if err != nil {
+		return 0, err
+	}
+	if sx.Variance == 0 || sy.Variance == 0 {
+		return 0, fmt.Errorf("stats: zero-variance input")
+	}
+	var cov float64
+	for i := range xs {
+		cov += (xs[i] - sx.Mean) * (ys[i] - sy.Mean)
+	}
+	cov /= float64(len(xs) - 1)
+	return cov / math.Sqrt(sx.Variance*sy.Variance), nil
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x —
+// used by the timing experiments to verify linearity in n and m.
+func LinearFit(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: need at least 2 points")
+	}
+	var sumX, sumY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+	}
+	n := float64(len(xs))
+	meanX, meanY := sumX/n, sumY/n
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - meanX
+		sxx += dx * dx
+		sxy += dx * (ys[i] - meanY)
+	}
+	if sxx == 0 {
+		return 0, 0, fmt.Errorf("stats: x has zero variance")
+	}
+	slope = sxy / sxx
+	return slope, meanY - slope*meanX, nil
+}

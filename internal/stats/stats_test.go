@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Variance-2.5) > 1e-12 {
+		t.Fatalf("variance = %v, want 2.5 (unbiased)", s.Variance)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+	one, err := Summarize([]float64{7})
+	if err != nil || one.Variance != 0 {
+		t.Errorf("single point: %+v, %v", one, err)
+	}
+}
+
+func TestSummarizeStability(t *testing.T) {
+	// Welford must survive a large offset without catastrophic
+	// cancellation.
+	base := 1e9
+	xs := []float64{base + 1, base + 2, base + 3}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Variance-1) > 1e-6 {
+		t.Fatalf("variance = %v, want 1", s.Variance)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("p out of range should fail")
+	}
+	if v, err := Quantile([]float64{42}, 0.9); err != nil || v != 42 {
+		t.Errorf("single point quantile = %v, %v", v, err)
+	}
+}
+
+func TestLaplaceCDF(t *testing.T) {
+	cdf := LaplaceCDF(2)
+	if cdf(0) != 0.5 {
+		t.Errorf("CDF(0) = %v, want 0.5", cdf(0))
+	}
+	if got, want := cdf(2), 1-0.5*math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CDF(2) = %v, want %v", got, want)
+	}
+	if got, want := cdf(-2), 0.5*math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CDF(-2) = %v, want %v", got, want)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cdf := NormalCDF(0, 1)
+	if math.Abs(cdf(0)-0.5) > 1e-12 {
+		t.Errorf("Φ(0) = %v", cdf(0))
+	}
+	if math.Abs(cdf(1.96)-0.975) > 1e-3 {
+		t.Errorf("Φ(1.96) = %v, want ≈0.975", cdf(1.96))
+	}
+}
+
+// TestKSLaplaceSamplerPasses is the distributional acceptance test for
+// the repository's Laplace sampler: at n = 50 000 draws the KS test
+// against the true CDF must pass at α = 0.01.
+func TestKSLaplaceSamplerPasses(t *testing.T) {
+	r := rng.New(12345)
+	const n = 50_000
+	b := 3.0
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Laplace(b)
+	}
+	d, crit, ok, err := KSTest(xs, LaplaceCDF(b), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("Laplace sampler failed KS test: D=%v > critical %v", d, crit)
+	}
+}
+
+// TestKSDetectsWrongScale: the same sampler must FAIL a KS test against a
+// mis-scaled CDF, proving the test has power.
+func TestKSDetectsWrongScale(t *testing.T) {
+	r := rng.New(54321)
+	const n = 50_000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Laplace(3)
+	}
+	_, _, ok, err := KSTest(xs, LaplaceCDF(4), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("KS test accepted a wrong scale; no power")
+	}
+}
+
+// TestKSNormalSampler applies the same acceptance test to NormFloat64.
+func TestKSNormalSampler(t *testing.T) {
+	r := rng.New(999)
+	const n = 50_000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	d, crit, ok, err := KSTest(xs, NormalCDF(0, 1), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("normal sampler failed KS: D=%v > %v", d, crit)
+	}
+}
+
+func TestKSValidation(t *testing.T) {
+	if _, err := KSStatistic(nil, LaplaceCDF(1)); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, _, _, err := KSTest([]float64{1}, LaplaceCDF(1), 0); err == nil {
+		t.Error("alpha 0 should fail")
+	}
+	if _, _, _, err := KSTest([]float64{1}, LaplaceCDF(1), 1); err == nil {
+		t.Error("alpha 1 should fail")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	c, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", c)
+	}
+	neg := []float64{8, 6, 4, 2}
+	c, err = Correlation(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", c)
+	}
+	if _, err := Correlation(xs, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Correlation([]float64{1}, []float64{2}); err == nil {
+		t.Error("too-short input should fail")
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance should fail")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = %vx + %v, want 2x + 1", slope, intercept)
+	}
+	if _, _, err := LinearFit(xs, ys[:2]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := LinearFit([]float64{5, 5}, []float64{1, 2}); err == nil {
+		t.Error("constant x should fail")
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+}
+
+// TestTimingLinearityWithFit demonstrates the intended use: synthetic
+// y = a·x + noise recovers slope a.
+func TestTimingLinearityWithFit(t *testing.T) {
+	r := rng.New(31)
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = 3.5*xs[i] + 10 + r.NormFloat64()*0.5
+	}
+	slope, _, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-3.5) > 0.1 {
+		t.Fatalf("recovered slope %v, want ≈3.5", slope)
+	}
+}

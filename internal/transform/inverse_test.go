@@ -1,0 +1,215 @@
+package transform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/matrix"
+	"repro/internal/nominal"
+	"repro/internal/rng"
+)
+
+// TestInverseAppliesMeanSubtraction verifies footnote 2 of §VI-B: the
+// multi-dimensional inverse must mean-subtract every vector along a
+// nominal dimension before reconstructing it. We compare HN.Inverse on a
+// noisy 1-D nominal coefficient matrix against the manual pipeline
+// (MeanSubtract then InverseInto).
+func TestInverseAppliesMeanSubtraction(t *testing.T) {
+	h, err := hierarchy.ThreeLevel(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, err := nominal.New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, err := New(Nominal(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rng.New(71)
+	coeffs := make([]float64, nt.OutputSize())
+	for i := range coeffs {
+		coeffs[i] = r.Float64()*10 - 5
+	}
+
+	// Manual: mean-subtract a copy, then invert.
+	manual := append([]float64(nil), coeffs...)
+	if err := nt.MeanSubtract(manual); err != nil {
+		t.Fatal(err)
+	}
+	wantVec := make([]float64, nt.InputSize())
+	nt.InverseInto(manual, wantVec)
+
+	// HN: same coefficients as a 1-D matrix.
+	cm, err := matrix.FromSlice(coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hn.Inverse(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range wantVec {
+		if math.Abs(got.At(i)-want) > 1e-12 {
+			t.Fatalf("entry %d: HN inverse %v, manual %v", i, got.At(i), want)
+		}
+	}
+	// Sanity: skipping mean subtraction gives a DIFFERENT reconstruction
+	// for generic noisy coefficients, so the test above is not vacuous.
+	noSub := make([]float64, nt.InputSize())
+	nt.InverseInto(coeffs, noSub)
+	same := true
+	for i := range wantVec {
+		if math.Abs(noSub[i]-wantVec[i]) > 1e-9 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("mean subtraction had no effect on random coefficients; test is vacuous")
+	}
+}
+
+// TestInverseDoesNotModifyInput guards the documented contract.
+func TestInverseDoesNotModifyInput(t *testing.T) {
+	h, err := hierarchy.ThreeLevel(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, err := New(Ordinal(4), Nominal(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := matrix.New(hn.CoeffDims()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(73)
+	data := c.Data()
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	before := c.Clone()
+	if _, err := hn.Inverse(c); err != nil {
+		t.Fatal(err)
+	}
+	if !c.AlmostEqual(before, 0) {
+		t.Fatal("Inverse modified its input coefficient matrix")
+	}
+}
+
+// TestForwardDoesNotModifyInput guards the same contract for Forward.
+func TestForwardDoesNotModifyInput(t *testing.T) {
+	hn, err := New(Ordinal(5), Ordinal(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matrix.MustNew(5, 3)
+	r := rng.New(74)
+	data := m.Data()
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	before := m.Clone()
+	if _, err := hn.Forward(m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.AlmostEqual(before, 0) {
+		t.Fatal("Forward modified its input matrix")
+	}
+}
+
+// TestDimensionOrderIndependence: because the standard decomposition's
+// per-dimension steps commute, transforming a matrix and its transpose
+// yields transposed coefficient matrices.
+func TestDimensionOrderIndependence(t *testing.T) {
+	hnAB, err := New(Ordinal(4), Ordinal(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hnBA, err := New(Ordinal(8), Ordinal(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(75)
+	m := matrix.MustNew(4, 8)
+	mt := matrix.MustNew(8, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			v := r.Float64()
+			m.Set(v, i, j)
+			mt.Set(v, j, i)
+		}
+	}
+	c, err := hnAB.Forward(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := hnBA.Forward(mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			if math.Abs(c.At(i, j)-ct.At(j, i)) > 1e-9 {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Weights transpose identically.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			if hnAB.Weight(i, j) != hnBA.Weight(j, i) {
+				t.Fatalf("weight transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestThreeDimensionalSensitivity exercises Theorem 2 at d = 3, the
+// smallest case the 2-D tests cannot reach.
+func TestThreeDimensionalSensitivity(t *testing.T) {
+	h, err := hierarchy.Flat(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, err := New(Ordinal(4), Nominal(h), Ordinal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P = 3 · 2 · 2 = 12.
+	if got := hn.GeneralizedSensitivity(); got != 12 {
+		t.Fatalf("GS = %v, want 12", got)
+	}
+	m, err := matrix.New(hn.InputDims()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := hn.Forward(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := m.Clone()
+	mod.Set(2, 1, 2, 0)
+	pert, err := hn.Forward(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted := 0.0
+	coords := make([]int, 3)
+	bd, pd := base.Data(), pert.Data()
+	for off := range pd {
+		d := math.Abs(pd[off] - bd[off])
+		if d == 0 {
+			continue
+		}
+		pert.Coords(off, coords)
+		weighted += hn.Weight(coords...) * d
+	}
+	if math.Abs(weighted-24) > 1e-9 { // 12 · δ with δ = 2
+		t.Fatalf("weighted change = %v, want 24", weighted)
+	}
+}

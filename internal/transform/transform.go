@@ -1,0 +1,315 @@
+// Package transform implements the Haar-Nominal (HN) multi-dimensional
+// wavelet transform of §VI-A: the standard decomposition that applies a
+// one-dimensional transform (Haar for ordinal dimensions, nominal for
+// hierarchy-bearing dimensions) along each dimension of the frequency
+// matrix in turn.
+//
+// Coefficient vectors are laid out base-first in level order, exactly as
+// the one-dimensional packages emit them, so "the i-th coefficient of
+// every vector along dimension k" is a well-defined coefficient slot with
+// a homogeneous per-slot weight. That makes the paper's recursively
+// defined weight function W_HN factor into a tensor product:
+//
+//	W_HN(c) = ∏_i w_i[coord_i(c)]
+//
+// where w_i is the one-dimensional weight vector of dimension i. (Proof
+// sketch: in step i the new weight is W_i(c) times the weight shared by
+// the source vector, and the shared weight depends only on the
+// already-transformed coordinates — induction gives the product form.)
+// Weight therefore never materializes a full weight matrix unless asked.
+//
+// Ordinal dimensions are padded to the next power of two with dummy zero
+// entries (§IV's remedy); privacy and utility formulas use the padded
+// sizes. Nominal dimensions grow from |A| to the node count of their
+// hierarchy (the transform is over-complete, §V-A).
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/haar"
+	"repro/internal/hierarchy"
+	"repro/internal/matrix"
+	"repro/internal/nominal"
+)
+
+// Kind distinguishes ordinal from nominal dimensions.
+type Kind int
+
+const (
+	// KindOrdinal marks a totally ordered dimension (Haar transform).
+	KindOrdinal Kind = iota
+	// KindNominal marks a hierarchy-bearing dimension (nominal transform).
+	KindNominal
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindOrdinal:
+		return "ordinal"
+	case KindNominal:
+		return "nominal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one dimension of the input matrix.
+type Spec struct {
+	Kind Kind
+	// Size is the domain size |A|. For nominal dimensions it must equal
+	// the hierarchy's leaf count (and may be left 0 to default to it).
+	Size int
+	// Hier is required for nominal dimensions and ignored for ordinal.
+	Hier *hierarchy.Hierarchy
+}
+
+// Ordinal returns a Spec for an ordinal dimension of the given size.
+func Ordinal(size int) Spec { return Spec{Kind: KindOrdinal, Size: size} }
+
+// Nominal returns a Spec for a nominal dimension with hierarchy h.
+func Nominal(h *hierarchy.Hierarchy) Spec { return Spec{Kind: KindNominal, Hier: h} }
+
+// dim is the resolved per-dimension machinery.
+type dim struct {
+	spec    Spec
+	size    int // original size |A|
+	padded  int // ordinal: next power of two; nominal: size
+	coeffs  int // coefficient count after the 1-D transform
+	weights []float64
+	nom     *nominal.Transform // nil for ordinal
+}
+
+// HN is a multi-dimensional Haar-Nominal wavelet transform. It is
+// immutable after New and safe for concurrent use.
+type HN struct {
+	dims []dim
+}
+
+// New builds an HN transform for the given dimension specs.
+func New(specs ...Spec) (*HN, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("transform: need at least one dimension")
+	}
+	t := &HN{dims: make([]dim, len(specs))}
+	for i, s := range specs {
+		d := dim{spec: s}
+		switch s.Kind {
+		case KindOrdinal:
+			if s.Size <= 0 {
+				return nil, fmt.Errorf("transform: ordinal dimension %d has non-positive size %d", i, s.Size)
+			}
+			d.size = s.Size
+			d.padded = haar.NextPowerOfTwo(s.Size)
+			d.coeffs = d.padded
+			w, err := haar.Weights(d.padded)
+			if err != nil {
+				return nil, fmt.Errorf("transform: dimension %d: %w", i, err)
+			}
+			d.weights = w
+		case KindNominal:
+			if s.Hier == nil {
+				return nil, fmt.Errorf("transform: nominal dimension %d lacks a hierarchy", i)
+			}
+			if s.Size != 0 && s.Size != s.Hier.LeafCount() {
+				return nil, fmt.Errorf("transform: nominal dimension %d size %d != hierarchy leaf count %d",
+					i, s.Size, s.Hier.LeafCount())
+			}
+			nt, err := nominal.New(s.Hier)
+			if err != nil {
+				return nil, fmt.Errorf("transform: dimension %d: %w", i, err)
+			}
+			d.size = s.Hier.LeafCount()
+			d.padded = d.size
+			d.coeffs = nt.OutputSize()
+			d.weights = nt.Weights()
+			d.nom = nt
+		default:
+			return nil, fmt.Errorf("transform: dimension %d has unknown kind %v", i, s.Kind)
+		}
+		t.dims[i] = d
+	}
+	return t, nil
+}
+
+// NumDims returns the dimensionality d.
+func (t *HN) NumDims() int { return len(t.dims) }
+
+// InputDims returns the expected input matrix shape (original domain
+// sizes, unpadded).
+func (t *HN) InputDims() []int {
+	out := make([]int, len(t.dims))
+	for i, d := range t.dims {
+		out[i] = d.size
+	}
+	return out
+}
+
+// CoeffDims returns the coefficient matrix shape.
+func (t *HN) CoeffDims() []int {
+	out := make([]int, len(t.dims))
+	for i, d := range t.dims {
+		out[i] = d.coeffs
+	}
+	return out
+}
+
+// PaddedSize returns the padded domain size of dimension i (the m_i the
+// privacy formulas use).
+func (t *HN) PaddedSize(i int) int { return t.dims[i].padded }
+
+// Forward applies the HN transform to M and returns the coefficient
+// matrix C_d.
+func (t *HN) Forward(m *matrix.Matrix) (*matrix.Matrix, error) {
+	if err := t.checkInput(m); err != nil {
+		return nil, err
+	}
+	cur := m
+	for i, d := range t.dims {
+		var err error
+		if d.spec.Kind == KindOrdinal && d.padded != d.size {
+			cur, err = cur.Pad(i, d.padded)
+			if err != nil {
+				return nil, fmt.Errorf("transform: pad dimension %d: %w", i, err)
+			}
+		}
+		switch d.spec.Kind {
+		case KindOrdinal:
+			cur, err = cur.ApplyAlong(i, d.coeffs, haar.ForwardInto)
+		case KindNominal:
+			nt := d.nom
+			cur, err = cur.ApplyAlong(i, d.coeffs, nt.ForwardInto)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("transform: forward dimension %d: %w", i, err)
+		}
+	}
+	return cur, nil
+}
+
+// Inverse reconstructs the frequency matrix from a coefficient matrix,
+// applying mean subtraction along every nominal dimension before that
+// dimension's inverse step (footnote 2 of §VI-B). The input is not
+// modified.
+func (t *HN) Inverse(c *matrix.Matrix) (*matrix.Matrix, error) {
+	got := c.Dims()
+	want := t.CoeffDims()
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			return nil, fmt.Errorf("transform: coefficient shape %v, want %v", got, want)
+		}
+	}
+	cur := c
+	for i := len(t.dims) - 1; i >= 0; i-- {
+		d := t.dims[i]
+		var err error
+		switch d.spec.Kind {
+		case KindOrdinal:
+			padded := make([]float64, d.padded)
+			cur, err = cur.ApplyAlong(i, d.size, func(src, dst []float64) {
+				haar.InverseInto(src, padded)
+				copy(dst, padded[:d.size])
+			})
+		case KindNominal:
+			nt := d.nom
+			scratch := make([]float64, d.coeffs)
+			cur, err = cur.ApplyAlong(i, d.size, func(src, dst []float64) {
+				copy(scratch, src)
+				// Errors are impossible here: scratch has the exact size.
+				_ = nt.MeanSubtract(scratch)
+				nt.InverseInto(scratch, dst)
+			})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("transform: inverse dimension %d: %w", i, err)
+		}
+	}
+	return cur, nil
+}
+
+// WeightVector returns the one-dimensional weight vector of dimension i,
+// aligned with the coefficient layout along that dimension. The slice is
+// owned by the transform; callers must not modify it.
+func (t *HN) WeightVector(i int) []float64 { return t.dims[i].weights }
+
+// Weight returns W_HN at the given coefficient coordinates: the product
+// of per-dimension weights. A zero anywhere (structurally-zero nominal
+// coefficient) makes the whole weight zero, meaning "no noise needed".
+func (t *HN) Weight(coords ...int) float64 {
+	if len(coords) != len(t.dims) {
+		panic(fmt.Sprintf("transform: got %d coordinates for %d dimensions", len(coords), len(t.dims)))
+	}
+	w := 1.0
+	for i, c := range coords {
+		w *= t.dims[i].weights[c]
+	}
+	return w
+}
+
+// WeightMatrix materializes the full W_HN as a matrix shaped like the
+// coefficient matrix. Intended for tests and inspection; noise injection
+// should iterate via WeightVector to avoid the allocation.
+func (t *HN) WeightMatrix() (*matrix.Matrix, error) {
+	out, err := matrix.New(t.CoeffDims()...)
+	if err != nil {
+		return nil, err
+	}
+	data := out.Data()
+	coords := make([]int, len(t.dims))
+	for off := range data {
+		out.Coords(off, coords)
+		data[off] = t.Weight(coords...)
+	}
+	return out, nil
+}
+
+// GeneralizedSensitivity returns Theorem 2's bound ∏P(A_i) with respect
+// to W_HN, where P(A) = 1+log₂(padded |A|) for ordinal dimensions and the
+// hierarchy height for nominal ones.
+func (t *HN) GeneralizedSensitivity() float64 {
+	p := 1.0
+	for _, d := range t.dims {
+		p *= t.dimP(d)
+	}
+	return p
+}
+
+// QueryVarianceFactor returns Theorem 3's factor ∏H(A_i): with noise of
+// variance at most (σ/W_HN(c))² per coefficient, every range-count query
+// on the reconstruction has noise variance at most σ²·∏H(A_i).
+func (t *HN) QueryVarianceFactor() float64 {
+	hprod := 1.0
+	for _, d := range t.dims {
+		hprod *= t.dimH(d)
+	}
+	return hprod
+}
+
+func (t *HN) dimP(d dim) float64 {
+	if d.spec.Kind == KindOrdinal {
+		return haar.GeneralizedSensitivity(d.padded)
+	}
+	return d.nom.GeneralizedSensitivity()
+}
+
+func (t *HN) dimH(d dim) float64 {
+	if d.spec.Kind == KindOrdinal {
+		return haar.QueryVarianceFactor(d.padded)
+	}
+	return d.nom.QueryVarianceFactor()
+}
+
+func (t *HN) checkInput(m *matrix.Matrix) error {
+	got := m.Dims()
+	want := t.InputDims()
+	if len(got) != len(want) {
+		return fmt.Errorf("transform: input dimensionality %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("transform: input shape %v, want %v", got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package workload implements the paper's experimental query workload
+// (§VII-A): random range-count queries with 1–4 predicates, plus the
+// error metrics (square error, relative error under a sanity bound) and
+// the quintile binning used to produce Figures 6–9.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/rng"
+)
+
+// Generator draws random range-count queries against a schema following
+// §VII-A: the number of predicates is uniform in [1, min(4, d)]; each
+// predicate picks a distinct random attribute; ordinal predicates are
+// uniform random intervals; nominal predicates select a uniform random
+// non-root hierarchy node's subtree.
+type Generator struct {
+	schema   *dataset.Schema
+	maxPreds int
+}
+
+// NewGenerator builds a generator over schema. maxPreds caps the
+// predicate count (the paper uses 4); it is clamped to the attribute
+// count.
+func NewGenerator(schema *dataset.Schema, maxPreds int) (*Generator, error) {
+	if maxPreds < 1 {
+		return nil, fmt.Errorf("workload: maxPreds must be ≥ 1, got %d", maxPreds)
+	}
+	if d := schema.NumAttrs(); maxPreds > d {
+		maxPreds = d
+	}
+	return &Generator{schema: schema, maxPreds: maxPreds}, nil
+}
+
+// Query draws one random query.
+func (g *Generator) Query(r *rng.Source) (query.Query, error) {
+	numPreds := 1 + r.Intn(g.maxPreds)
+	perm := r.Perm(g.schema.NumAttrs())
+	b := query.NewBuilder(g.schema)
+	for _, ai := range perm[:numPreds] {
+		a := g.schema.Attr(ai)
+		switch a.Kind {
+		case dataset.Ordinal:
+			x, y := r.Intn(a.Size), r.Intn(a.Size)
+			if x > y {
+				x, y = y, x
+			}
+			b.Interval(ai, x, y)
+		case dataset.Nominal:
+			nodes := a.Hier.Nodes()
+			if len(nodes) == 1 {
+				// Degenerate single-node hierarchy: only the root exists;
+				// use its full (single-leaf) range.
+				b.Interval(ai, 0, a.Size-1)
+				continue
+			}
+			// Uniform non-root node: IDs 1..len-1.
+			n := nodes[1+r.Intn(len(nodes)-1)]
+			lo, hi := a.Hier.LeafInterval(n)
+			b.Interval(ai, lo, hi)
+		}
+	}
+	return b.Build()
+}
+
+// Queries draws count random queries.
+func (g *Generator) Queries(count int, r *rng.Source) ([]query.Query, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("workload: negative count %d", count)
+	}
+	out := make([]query.Query, count)
+	for i := range out {
+		q, err := g.Query(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// SquareError returns (estimate − actual)² (§VII-A).
+func SquareError(estimate, actual float64) float64 {
+	d := estimate - actual
+	return d * d
+}
+
+// RelativeError returns |estimate − actual| / max(actual, sanity), the
+// paper's relative error with sanity bound (following [12], [13]); the
+// paper sets sanity to 0.1% of the tuple count.
+func RelativeError(estimate, actual, sanity float64) float64 {
+	denom := actual
+	if sanity > denom {
+		denom = sanity
+	}
+	if denom == 0 {
+		// Degenerate: empty data and no sanity bound. Define 0/0 = 0 so
+		// exact answers report zero error.
+		if estimate == actual {
+			return 0
+		}
+		return 1
+	}
+	d := estimate - actual
+	if d < 0 {
+		d = -d
+	}
+	return d / denom
+}
+
+// SanityBound returns the paper's sanity bound: 0.1% of n.
+func SanityBound(n int) float64 { return 0.001 * float64(n) }
+
+// Bin is one quintile of a (key, error) population.
+type Bin struct {
+	// AvgKey is the mean key (coverage or selectivity) of the bin — the
+	// X coordinate of the paper's plots.
+	AvgKey float64
+	// AvgError is the mean error of the bin — the Y coordinate.
+	AvgError float64
+	// Count is the number of queries in the bin.
+	Count int
+}
+
+// QuintileBins sorts the population by key, splits it into `bins`
+// near-equal parts (the paper uses 5: "queries in the i-th subset have
+// coverage between the (i−1)-th and i-th quintiles"), and returns the
+// per-bin mean key and mean error.
+func QuintileBins(keys, errors []float64, bins int) ([]Bin, error) {
+	if len(keys) != len(errors) {
+		return nil, fmt.Errorf("workload: %d keys but %d errors", len(keys), len(errors))
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("workload: bins must be ≥ 1, got %d", bins)
+	}
+	n := len(keys)
+	if n == 0 {
+		return nil, fmt.Errorf("workload: empty population")
+	}
+	if bins > n {
+		bins = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+
+	out := make([]Bin, 0, bins)
+	for b := 0; b < bins; b++ {
+		lo := b * n / bins
+		hi := (b + 1) * n / bins
+		if lo >= hi {
+			continue
+		}
+		var sk, se float64
+		for _, i := range idx[lo:hi] {
+			sk += keys[i]
+			se += errors[i]
+		}
+		c := hi - lo
+		out = append(out, Bin{AvgKey: sk / float64(c), AvgError: se / float64(c), Count: c})
+	}
+	return out, nil
+}

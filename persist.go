@@ -1,0 +1,46 @@
+package privelet
+
+import (
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/query"
+)
+
+// Save serializes the release (schema, hierarchies, noisy matrix and
+// privacy accounting) to w in the versioned binary format of
+// internal/codec. A saved release can be shipped to analysts and loaded
+// elsewhere — no further privacy cost, since only the released data is
+// stored.
+func (r *Release) Save(w io.Writer) error {
+	return codec.Encode(w, &codec.Payload{
+		Meta: codec.Meta{
+			Mechanism: r.machine,
+			Epsilon:   r.eps,
+			Rho:       r.rho,
+			Lambda:    r.lambda,
+			Bound:     r.bound,
+		},
+		Schema: r.schema,
+		Noisy:  r.noisy,
+	})
+}
+
+// Load reads a release previously written by Save (or downloaded from a
+// priveletd /export endpoint).
+func Load(rd io.Reader) (*Release, error) {
+	p, err := codec.Decode(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Release{
+		schema:  p.Schema,
+		noisy:   p.Noisy,
+		eval:    query.NewEvaluator(p.Noisy),
+		eps:     p.Meta.Epsilon,
+		rho:     p.Meta.Rho,
+		lambda:  p.Meta.Lambda,
+		bound:   p.Meta.Bound,
+		machine: p.Meta.Mechanism,
+	}, nil
+}

@@ -1,0 +1,180 @@
+package privelet
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hay"
+	"repro/internal/hierarchy"
+	"repro/internal/matrix"
+	"repro/internal/postprocess"
+	"repro/internal/query"
+)
+
+// Type aliases expose the substrate types through the public package so
+// that importers never touch internal paths.
+type (
+	// Schema describes a table's attributes.
+	Schema = dataset.Schema
+	// Table is a multiset of tuples over a Schema.
+	Table = dataset.Table
+	// Attribute is one column description.
+	Attribute = dataset.Attribute
+	// Hierarchy is a nominal attribute's generalization tree.
+	Hierarchy = hierarchy.Hierarchy
+	// HierarchyNode is one node of a Hierarchy.
+	HierarchyNode = hierarchy.Node
+	// Matrix is a dense d-dimensional frequency matrix.
+	Matrix = matrix.Matrix
+	// Query is a normalized range-count query.
+	Query = query.Query
+	// QueryBuilder assembles queries against a schema.
+	QueryBuilder = query.Builder
+)
+
+// NewSchema validates and builds a schema. See dataset.NewSchema.
+func NewSchema(attrs ...Attribute) (*Schema, error) { return dataset.NewSchema(attrs...) }
+
+// OrdinalAttr declares an ordinal attribute with domain [0, size).
+func OrdinalAttr(name string, size int) Attribute { return dataset.OrdinalAttr(name, size) }
+
+// NominalAttr declares a nominal attribute over hierarchy h.
+func NominalAttr(name string, h *Hierarchy) Attribute { return dataset.NominalAttr(name, h) }
+
+// NewTable returns an empty table over schema.
+func NewTable(schema *Schema) *Table { return dataset.NewTable(schema) }
+
+// FlatHierarchy builds a two-level hierarchy with n leaves.
+func FlatHierarchy(n int) (*Hierarchy, error) { return hierarchy.Flat(n) }
+
+// ThreeLevelHierarchy builds a root → groups → leaves hierarchy.
+func ThreeLevelHierarchy(groups, leavesPerGroup int) (*Hierarchy, error) {
+	return hierarchy.ThreeLevel(groups, leavesPerGroup)
+}
+
+// BuildHierarchy validates a hand-constructed hierarchy tree.
+func BuildHierarchy(root *HierarchyNode) (*Hierarchy, error) { return hierarchy.Build(root) }
+
+// Options configures Publish.
+type Options struct {
+	// Epsilon is the ε-differential-privacy budget (must be positive).
+	Epsilon float64
+	// SA lists attributes to exclude from the wavelet transform
+	// (Privelet+). nil is plain Privelet; all attributes is Basic.
+	SA []string
+	// Seed drives the (deterministic) noise stream.
+	Seed uint64
+	// Sanitize, when set, post-processes the release to non-negative
+	// integer counts. Free of privacy cost.
+	Sanitize bool
+}
+
+// Release is a published noisy frequency matrix plus everything needed to
+// answer range-count queries against it.
+type Release struct {
+	schema  *Schema
+	noisy   *Matrix
+	eval    *query.Evaluator
+	eps     float64
+	rho     float64
+	lambda  float64
+	bound   float64
+	machine string
+}
+
+// Publish releases the table's frequency matrix under ε-differential
+// privacy with Privelet+ (the paper's Figure 5). It runs in O(n + m).
+func Publish(t *Table, opts Options) (*Release, error) {
+	res, err := core.Publish(t, core.Options{Epsilon: opts.Epsilon, SA: opts.SA, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	noisy := res.Noisy
+	if opts.Sanitize {
+		noisy = postprocess.Sanitize(noisy)
+	}
+	return &Release{
+		schema:  t.Schema(),
+		noisy:   noisy,
+		eval:    query.NewEvaluator(noisy),
+		eps:     res.Epsilon,
+		rho:     res.Rho,
+		lambda:  res.Lambda,
+		bound:   res.VarianceBound,
+		machine: "privelet+",
+	}, nil
+}
+
+// PublishBasic releases with Dwork et al.'s Basic mechanism: independent
+// Laplace(2/ε) noise per entry. Equivalent to Publish with SA = all
+// attributes; provided for symmetry with the paper's evaluation.
+func PublishBasic(t *Table, epsilon float64, seed uint64) (*Release, error) {
+	res, err := baseline.BasicTable(t, epsilon, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Release{
+		schema:  t.Schema(),
+		noisy:   res.Noisy,
+		eval:    query.NewEvaluator(res.Noisy),
+		eps:     epsilon,
+		rho:     1,
+		lambda:  res.Magnitude,
+		bound:   8 / (epsilon * epsilon) * float64(t.Schema().DomainSize()),
+		machine: "basic",
+	}, nil
+}
+
+// PublishHistogram releases a one-dimensional histogram with the Hay et
+// al. hierarchical-consistency mechanism (an extension beyond the paper's
+// own mechanisms; see internal/hay). Returned as a plain slice because
+// the mechanism is one-dimensional by construction.
+func PublishHistogram(v []float64, epsilon float64, seed uint64) ([]float64, error) {
+	res, err := hay.Publish(v, epsilon, seed)
+	if err != nil {
+		return nil, err
+	}
+	return res.Histogram, nil
+}
+
+// RecommendSA returns the attributes Corollary 1 suggests excluding from
+// the wavelet transform: those with |A| ≤ P(A)²·H(A).
+func RecommendSA(schema *Schema) ([]string, error) { return core.RecommendSA(schema) }
+
+// NewQuery starts a range-count query against the release's schema.
+func (r *Release) NewQuery() *QueryBuilder { return query.NewBuilder(r.schema) }
+
+// Count answers a range-count query from the released matrix in O(2^d).
+func (r *Release) Count(q Query) (float64, error) { return r.eval.Count(q) }
+
+// Matrix returns the released noisy frequency matrix. Callers may read it
+// freely; mutating it desynchronizes Count's prefix table.
+func (r *Release) Matrix() *Matrix { return r.noisy }
+
+// Schema returns the schema the release was published under.
+func (r *Release) Schema() *Schema { return r.schema }
+
+// Epsilon returns the privacy budget spent.
+func (r *Release) Epsilon() float64 { return r.eps }
+
+// Sensitivity returns the generalized sensitivity ρ of the transform the
+// release used (1 for Basic).
+func (r *Release) Sensitivity() float64 { return r.rho }
+
+// Lambda returns the base Laplace parameter λ = 2ρ/ε.
+func (r *Release) Lambda() float64 { return r.lambda }
+
+// VarianceBound returns the analytic worst-case noise variance for any
+// range-count query answered from this release.
+func (r *Release) VarianceBound() float64 { return r.bound }
+
+// Mechanism names the publishing mechanism ("privelet+" or "basic").
+func (r *Release) Mechanism() string { return r.machine }
+
+// String summarizes the release.
+func (r *Release) String() string {
+	return fmt.Sprintf("privelet.Release{mechanism=%s ε=%g ρ=%g λ=%g varBound=%.4g m=%d}",
+		r.machine, r.eps, r.rho, r.lambda, r.bound, r.noisy.Len())
+}
