@@ -39,6 +39,7 @@ func main() {
 		outPath    = flag.String("out", "", "output CSV (default stdout)")
 		sanitize   = flag.Bool("sanitize", false, "round the release to non-negative integers")
 		basic      = flag.Bool("basic", false, "use Dwork et al.'s Basic mechanism instead")
+		workers    = flag.Int("parallelism", 0, "publish worker goroutines (0 = all cores); never changes the release")
 	)
 	flag.Parse()
 
@@ -77,7 +78,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "privelet: auto SA = %v\n", sa)
 		}
 		rel, err = privelet.Publish(table, privelet.Options{
-			Epsilon: *epsilon, SA: sa, Seed: *seed, Sanitize: *sanitize,
+			Epsilon: *epsilon, SA: sa, Seed: *seed, Sanitize: *sanitize, Parallelism: *workers,
 		})
 	}
 	if err != nil {

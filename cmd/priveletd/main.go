@@ -29,10 +29,12 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		maxBody = flag.Int64("max-body", 64<<20, "maximum upload size in bytes")
+		workers = flag.Int("parallelism", 0, "default worker goroutines per publish (0 = all cores); lower it when serving many concurrent publishers")
 	)
 	flag.Parse()
 
 	srv := server.New(*maxBody)
+	srv.SetParallelism(*workers)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -41,6 +41,23 @@
 // attribute recovers the Basic mechanism exactly (PublishBasic is a
 // convenience for that).
 //
+// # Publish engine
+//
+// Publish runs on a parallel, allocation-frugal engine. The Figure-5
+// sub-matrices (one per combination of SA coordinates) are independent,
+// as are the 1-D vectors inside each wavelet step, so the engine fans
+// both levels across a worker pool of Options.Parallelism goroutines
+// (default: runtime.GOMAXPROCS(0)). Each worker owns a ping-pong buffer
+// pair, so a d-dimensional forward+inverse pass reuses two backing
+// slices instead of allocating 2d matrices, and vectors along the
+// innermost dimension are handed to the wavelet kernels as direct slices
+// of the backing arrays (zero-copy).
+//
+// Parallelism never changes a release. The Laplace stream of sub-matrix
+// k is a SplitMix-derived substream keyed by (Options.Seed, k) — see
+// internal/rng.Substream — not by visit order, so equal seeds give
+// bit-identical releases at parallelism 1, 4, or a whole fleet of cores.
+//
 // # Security note
 //
 // This library reproduces the paper's mechanisms for research and

@@ -20,11 +20,23 @@
 // transform's generalized sensitivity ρ = ∏_{A∉SA} P(A) per unit entry
 // change, noise magnitude λ/W_HN(c) yields (2ρ/λ)-differential privacy
 // (Lemma 1 + Theorem 2); Publish therefore sets λ = 2ρ/ε.
+//
+// Execution model. The Figure-5 sub-matrices are mutually independent, so
+// PublishMatrix fans them across a worker pool of Options.Parallelism
+// goroutines; within a sub-matrix, each wavelet step fans its independent
+// 1-D vectors across the workers left over. Each worker owns a ping-pong
+// buffer pair (matrix.Pipeline) and a reusable sub-matrix buffer, so the
+// steady-state pass allocates no full matrices. Determinism is preserved
+// at every parallelism level by keying the Laplace stream of sub-matrix
+// k to rng.Substream(Options.Seed, k) rather than to visit order.
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/matrix"
@@ -42,9 +54,21 @@ type Options struct {
 	// all attributes means the Basic mechanism.
 	SA []string
 	// Seed drives the Laplace noise stream; equal seeds give
-	// bit-identical releases (for experiments — production releases
-	// should draw seeds from a secure source).
+	// bit-identical releases at any Parallelism (for experiments —
+	// production releases should draw seeds from a secure source).
 	Seed uint64
+	// Parallelism caps the worker goroutines the publish engine uses;
+	// values ≤ 0 default to runtime.GOMAXPROCS(0). The released matrix
+	// does not depend on it.
+	Parallelism int
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result is a published noisy frequency matrix together with its privacy
@@ -95,14 +119,12 @@ func PublishMatrix(m *matrix.Matrix, schema *dataset.Schema, opts Options) (*Res
 			return nil, fmt.Errorf("core: matrix shape %v does not match schema %v", got, want)
 		}
 	}
-	src := rng.New(opts.Seed)
-
 	// SA covers everything: Basic mechanism (Figure 5 degenerates to
 	// per-entry noise with sensitivity 2).
 	if len(restIdx) == 0 {
 		lambda := 2 / opts.Epsilon
 		noisy := m.Clone()
-		if err := privacy.InjectLaplaceUniform(noisy, lambda, src); err != nil {
+		if err := privacy.InjectLaplaceUniform(noisy, lambda, rng.New(opts.Seed)); err != nil {
 			return nil, err
 		}
 		return &Result{
@@ -132,53 +154,103 @@ func PublishMatrix(m *matrix.Matrix, schema *dataset.Schema, opts Options) (*Res
 		weightVecs[i] = hn.WeightVector(i)
 	}
 
-	noisy := m.Clone()
-	subCount := 1
-	for _, si := range saIdx {
-		subCount *= schema.Attr(si).Size
-	}
-
-	// Enumerate SA coordinate combinations (odometer), processing one
-	// sub-matrix per combination — Figure 5 steps 3–6.
-	coords := make([]int, len(saIdx))
-	for {
-		sub, err := noisy.Sub(saIdx, coords)
-		if err != nil {
-			return nil, err
-		}
-		c, err := hn.Forward(sub)
-		if err != nil {
-			return nil, err
-		}
-		if err := privacy.InjectLaplace(c, weightVecs, lambda, src); err != nil {
-			return nil, err
-		}
-		rec, err := hn.Inverse(c)
-		if err != nil {
-			return nil, err
-		}
-		if err := noisy.SetSub(saIdx, coords, rec); err != nil {
-			return nil, err
-		}
-		if len(saIdx) == 0 {
-			break // single sub-matrix: all of M
-		}
-		k := len(coords) - 1
-		for ; k >= 0; k-- {
-			coords[k]++
-			if coords[k] < schema.Attr(saIdx[k]).Size {
-				break
-			}
-			coords[k] = 0
-		}
-		if k < 0 {
-			break
-		}
-	}
-
 	saSizes := make([]int, len(saIdx))
+	subCount := 1
 	for i, si := range saIdx {
 		saSizes[i] = schema.Attr(si).Size
+		subCount *= saSizes[i]
+	}
+
+	// Every entry of M belongs to exactly one SA sub-matrix and every
+	// sub-matrix is fully rewritten, so workers assemble M* directly into
+	// a fresh matrix; the input is only ever read.
+	noisy, err := matrix.New(m.Dims()...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fan the Figure-5 sub-matrices (steps 3–6) across a worker pool:
+	// `outer` workers pull sub-matrix indices from a shared counter, and
+	// each wavelet step inside a sub-matrix fans its vectors across the
+	// `inner` workers left over (dominant when SA is small or empty).
+	par := opts.workers()
+	outer := par
+	if outer > subCount {
+		outer = subCount
+	}
+
+	var next atomic.Int64
+	// process runs one outer worker with the given share of the inner
+	// (per-wavelet-step) budget. Shares distribute the remainder of
+	// par/outer across the first workers, so the total goroutine count
+	// never exceeds the Parallelism cap and never strands budgeted
+	// workers (par=8 over 5 sub-matrices: shares 2,2,2,1,1).
+	process := func(innerWorkers int) error {
+		ex := transform.Exec{Workers: innerWorkers, Pipe: matrix.NewPipeline()}
+		var sub *matrix.Matrix
+		coords := make([]int, len(saIdx))
+		for {
+			idx := int(next.Add(1)) - 1
+			if idx >= subCount {
+				return nil
+			}
+			// Decode the flat index into SA coordinates (mixed radix,
+			// last dimension fastest — the order Figure 5 enumerates).
+			rem := idx
+			for k := len(saIdx) - 1; k >= 0; k-- {
+				coords[k] = rem % saSizes[k]
+				rem /= saSizes[k]
+			}
+			var err error
+			sub, err = m.SubInto(saIdx, coords, sub)
+			if err != nil {
+				return err
+			}
+			c, err := hn.ForwardExec(sub, ex)
+			if err != nil {
+				return err
+			}
+			// Substream keyed by sub-matrix index, not visit order:
+			// equal seeds give bit-identical releases at any
+			// parallelism level.
+			if err := privacy.InjectLaplace(c, weightVecs, lambda, rng.Substream(opts.Seed, uint64(idx))); err != nil {
+				return err
+			}
+			rec, err := hn.InverseExec(c, ex)
+			if err != nil {
+				return err
+			}
+			// Workers write disjoint regions of noisy: no locking needed.
+			if err := noisy.SetSub(saIdx, coords, rec); err != nil {
+				return err
+			}
+		}
+	}
+	if outer <= 1 {
+		if err := process(par); err != nil {
+			return nil, err
+		}
+	} else {
+		errs := make(chan error, outer)
+		var wg sync.WaitGroup
+		for w := 0; w < outer; w++ {
+			inner := par / outer
+			if w < par%outer {
+				inner++
+			}
+			wg.Add(1)
+			go func(inner int) {
+				defer wg.Done()
+				if err := process(inner); err != nil {
+					errs <- err
+				}
+			}(inner)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return nil, err
+		}
 	}
 	bound, err := privacy.PriveletPlusVarianceBound(opts.Epsilon, saSizes, restSpecs)
 	if err != nil {

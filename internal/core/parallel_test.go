@@ -1,0 +1,91 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// publishAt publishes the same table at a given parallelism.
+func publishAt(t *testing.T, tbl *dataset.Table, sa []string, par int) *Result {
+	t.Helper()
+	res, err := Publish(tbl, Options{Epsilon: 1, SA: sa, Seed: 99, Parallelism: par})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPublishParallelismInvariance is the engine's central property: for
+// a fixed seed, the released matrix is bit-identical at parallelism 1, 4,
+// and GOMAXPROCS, across SA configurations covering plain Privelet (no
+// sub-matrix fan-out), Privelet+ (many sub-matrices), and the Basic
+// degenerate case.
+func TestPublishParallelismInvariance(t *testing.T) {
+	tbl := smallCensus(t, 2000, 3)
+	saConfigs := [][]string{
+		nil,                             // plain Privelet: 1 sub-matrix, vector-level fan-out
+		{"Gender"},                      // 2 sub-matrices
+		{"Age", "Gender"},               // 128 sub-matrices
+		{"Age", "Gender", "Occupation"}, // SA-heavy: tiny rest transform
+		{"Age", "Gender", "Occupation", "Income"}, // Basic mechanism
+	}
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, sa := range saConfigs {
+		base := publishAt(t, tbl, sa, levels[0])
+		for _, par := range levels[1:] {
+			got := publishAt(t, tbl, sa, par)
+			d, err := base.Noisy.MaxAbsDiff(got.Noisy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != 0 {
+				t.Errorf("SA=%v: parallelism %d release differs from serial by %v", sa, par, d)
+			}
+			if got.Lambda != base.Lambda || got.Rho != base.Rho ||
+				got.VarianceBound != base.VarianceBound || got.SubMatrices != base.SubMatrices {
+				t.Errorf("SA=%v: accounting differs across parallelism levels", sa)
+			}
+		}
+	}
+}
+
+// TestPublishParallelismExceedsWork checks the degenerate pool shapes:
+// more workers than sub-matrices, and more workers than vectors.
+func TestPublishParallelismExceedsWork(t *testing.T) {
+	tbl := smallCensus(t, 500, 4)
+	base := publishAt(t, tbl, []string{"Age", "Gender"}, 1)
+	wild := publishAt(t, tbl, []string{"Age", "Gender"}, 1000)
+	if d, _ := base.Noisy.MaxAbsDiff(wild.Noisy); d != 0 {
+		t.Errorf("parallelism 1000 release differs from serial by %v", d)
+	}
+}
+
+// TestPublishInputUnmodified: the engine reads the input matrix from many
+// goroutines but must never write it.
+func TestPublishInputUnmodified(t *testing.T) {
+	tbl := smallCensus(t, 1000, 5)
+	m, err := tbl.FrequencyMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Clone()
+	if _, err := PublishMatrix(m, tbl.Schema(), Options{Epsilon: 1, SA: []string{"Age"}, Seed: 1, Parallelism: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := m.MaxAbsDiff(before); d != 0 {
+		t.Fatalf("input matrix modified by publish (max diff %v)", d)
+	}
+}
+
+// TestPublishDefaultParallelism: Parallelism ≤ 0 must behave like
+// GOMAXPROCS, i.e. still produce the seed-determined release.
+func TestPublishDefaultParallelism(t *testing.T) {
+	tbl := smallCensus(t, 500, 6)
+	a := publishAt(t, tbl, []string{"Gender"}, 0)
+	b := publishAt(t, tbl, []string{"Gender"}, runtime.GOMAXPROCS(0))
+	if d, _ := a.Noisy.MaxAbsDiff(b.Noisy); d != 0 {
+		t.Errorf("default parallelism release differs by %v", d)
+	}
+}

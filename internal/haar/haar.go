@@ -57,14 +57,33 @@ func Forward(v []float64) ([]float64, error) {
 // ForwardInto is Forward writing into a caller-provided slice; src and dst
 // must both have power-of-two length m. dst must not alias src.
 func ForwardInto(src, dst []float64) {
-	m := len(src)
+	ForwardIntoScratch(src, dst, make([]float64, len(src)))
+}
+
+// ForwardIntoScratch is ForwardInto with a caller-provided scratch slice
+// of length ≥ m, so hot paths (per-worker transform kernels) allocate
+// nothing per call. scratch must alias neither src nor dst.
+func ForwardIntoScratch(src, dst, scratch []float64) {
+	ForwardPaddedIntoScratch(src, dst, scratch)
+}
+
+// ForwardPaddedIntoScratch transforms src zero-padded to len(dst), which
+// must be a power of two ≥ len(src) (§IV's dummy-entry remedy). The
+// padding happens directly in scratch (length ≥ len(dst)), so callers pay
+// a single copy of src per vector and need no separate padding buffer.
+// scratch must alias neither src nor dst.
+func ForwardPaddedIntoScratch(src, dst, scratch []float64) {
+	m := len(dst)
 	if m == 1 {
 		dst[0] = src[0]
 		return
 	}
 	// avg holds subtree averages for the current level, reused bottom-up.
-	avg := make([]float64, m)
-	copy(avg, src)
+	avg := scratch[:m]
+	n := copy(avg, src)
+	for j := n; j < m; j++ {
+		avg[j] = 0
+	}
 	// Nodes at the deepest level occupy indices [m/2, m) of dst; each
 	// level up halves the index range. After processing level i the avg
 	// slice holds the 2^(i-1) subtree averages of that level's nodes.

@@ -48,12 +48,8 @@ func New(dims ...int) (*Matrix, error) {
 	}
 	m := &Matrix{
 		dims:    append([]int(nil), dims...),
-		strides: make([]int, len(dims)),
+		strides: stridesFor(dims),
 		data:    make([]float64, total),
-	}
-	m.strides[len(dims)-1] = 1
-	for i := len(dims) - 2; i >= 0; i-- {
-		m.strides[i] = m.strides[i+1] * dims[i+1]
 	}
 	return m, nil
 }
@@ -209,52 +205,16 @@ func (m *Matrix) VectorsAlong(dim int) int { return len(m.data) / m.dims[dim] }
 // ApplyAlong applies f to every vector along dimension dim and returns a
 // new matrix in which that dimension has size newSize. f receives the
 // source vector (length Dim(dim)) and the destination (length newSize);
-// it must fill dst completely. Vectors are materialized through scratch
-// buffers so f sees contiguous slices regardless of stride.
+// it must fill dst completely and must not modify src. When dim is the
+// innermost dimension f sees direct slices of the backing arrays
+// (zero-copy); other strides gather/scatter through scratch buffers.
 //
 // This is the engine of the standard decomposition (§VI-A): a forward
 // wavelet step grows the dimension from |A| to the coefficient count and
-// an inverse step shrinks it back.
+// an inverse step shrinks it back. See ApplyAlongPool for the worker-pool
+// variant and Pipeline for chained steps without per-step allocation.
 func (m *Matrix) ApplyAlong(dim int, newSize int, f func(src, dst []float64)) (*Matrix, error) {
-	if dim < 0 || dim >= len(m.dims) {
-		return nil, fmt.Errorf("matrix: ApplyAlong dimension %d out of range", dim)
-	}
-	if newSize <= 0 {
-		return nil, fmt.Errorf("matrix: ApplyAlong newSize %d must be positive", newSize)
-	}
-	newDims := append([]int(nil), m.dims...)
-	newDims[dim] = newSize
-	out, err := New(newDims...)
-	if err != nil {
-		return nil, err
-	}
-
-	oldSize := m.dims[dim]
-	srcStride := m.strides[dim]
-	dstStride := out.strides[dim]
-	// Vectors along dim enumerate as (outer, inner) pairs: outer indexes
-	// the combined dimensions before dim, inner the ones after.
-	inner := srcStride // product of dims after dim
-	outer := len(m.data) / (oldSize * inner)
-
-	src := make([]float64, oldSize)
-	dst := make([]float64, newSize)
-	for o := 0; o < outer; o++ {
-		srcBase := o * oldSize * inner
-		dstBase := o * newSize * inner
-		for in := 0; in < inner; in++ {
-			so := srcBase + in
-			for j := 0; j < oldSize; j++ {
-				src[j] = m.data[so+j*srcStride]
-			}
-			f(src, dst)
-			do := dstBase + in
-			for j := 0; j < newSize; j++ {
-				out.data[do+j*dstStride] = dst[j]
-			}
-		}
-	}
-	return out, nil
+	return m.ApplyAlongPool(dim, newSize, 1, SharedKernel(f))
 }
 
 // Sub extracts the sub-matrix obtained by fixing the listed dimensions at

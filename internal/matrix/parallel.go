@@ -1,0 +1,229 @@
+// Parallel, allocation-frugal variants of the ApplyAlong engine.
+//
+// ApplyAlong enumerates the Len()/Dim(dim) one-dimensional vectors along a
+// dimension; the vectors are mutually independent, which makes the
+// standard decomposition of the HN transform embarrassingly parallel.
+// This file adds:
+//
+//   - ApplyAlongPool — a chunked worker-pool ApplyAlong. Each worker owns
+//     a kernel instance produced by a factory, so kernels may keep scratch
+//     state without synchronization;
+//   - Pipeline — a pair of ping-pong buffers that chained ApplyAlong
+//     steps alternate between, so a d-dimensional forward+inverse pass
+//     allocates two backing slices total instead of 2d full matrices;
+//   - SubInto — Sub writing into a reusable destination matrix.
+//
+// Vectors whose dimension is innermost (stride 1) are handed to kernels
+// as direct sub-slices of the backing arrays — zero-copy; other strides
+// gather/scatter through per-worker scratch.
+package matrix
+
+import (
+	"fmt"
+	"sync"
+)
+
+// VecFunc is the per-vector kernel of the ApplyAlong family: it reads src
+// (the vector along the applied dimension) and must fully overwrite dst.
+// dst never aliases src but may hold stale data from a reused buffer.
+type VecFunc func(src, dst []float64)
+
+// KernelFactory produces one kernel instance per worker. Instances run
+// from a single goroutine each, so they may close over private scratch —
+// but the factory itself is called concurrently from the worker
+// goroutines and must not touch shared mutable state.
+type KernelFactory func() VecFunc
+
+// SharedKernel adapts a stateless, concurrency-safe kernel to a
+// KernelFactory.
+func SharedKernel(f VecFunc) KernelFactory { return func() VecFunc { return f } }
+
+// stridesFor computes row-major strides for the given dimension sizes.
+func stridesFor(dims []int) []int {
+	strides := make([]int, len(dims))
+	strides[len(dims)-1] = 1
+	for i := len(dims) - 2; i >= 0; i-- {
+		strides[i] = strides[i+1] * dims[i+1]
+	}
+	return strides
+}
+
+// checkApplyAlong validates the (dim, newSize) pair and returns the
+// resulting dimension sizes.
+func (m *Matrix) checkApplyAlong(dim, newSize int) ([]int, error) {
+	if dim < 0 || dim >= len(m.dims) {
+		return nil, fmt.Errorf("matrix: ApplyAlong dimension %d out of range", dim)
+	}
+	if newSize <= 0 {
+		return nil, fmt.Errorf("matrix: ApplyAlong newSize %d must be positive", newSize)
+	}
+	newDims := append([]int(nil), m.dims...)
+	newDims[dim] = newSize
+	return newDims, nil
+}
+
+// ApplyAlongPool is ApplyAlong with a worker pool: the vectors along dim
+// are split into `workers` contiguous chunks processed concurrently, each
+// chunk by its own kernel from factory. workers ≤ 1 runs serially on the
+// calling goroutine. The result is bit-identical at any worker count.
+func (m *Matrix) ApplyAlongPool(dim, newSize, workers int, factory KernelFactory) (*Matrix, error) {
+	newDims, err := m.checkApplyAlong(dim, newSize)
+	if err != nil {
+		return nil, err
+	}
+	out, err := New(newDims...)
+	if err != nil {
+		return nil, err
+	}
+	m.applyAlongInto(dim, workers, factory, out)
+	return out, nil
+}
+
+// applyAlongInto runs the chunked apply into a preshaped destination.
+// out must have m's shape except along dim.
+func (m *Matrix) applyAlongInto(dim, workers int, factory KernelFactory, out *Matrix) {
+	oldSize := m.dims[dim]
+	inner := m.strides[dim] // product of dims after dim
+	outer := len(m.data) / (oldSize * inner)
+	total := outer * inner // number of vectors along dim
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		m.applyRange(out, dim, 0, total, factory())
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * total / workers
+		hi := (w + 1) * total / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.applyRange(out, dim, lo, hi, factory())
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// applyRange applies f to vectors [lo, hi) along dim, writing into out.
+// Vector v decomposes as (outer, inner) = (v/inner, v%inner); when dim is
+// innermost (inner == 1) the vectors are contiguous and are passed to f
+// as direct slices of the backing arrays.
+func (m *Matrix) applyRange(out *Matrix, dim, lo, hi int, f VecFunc) {
+	oldSize := m.dims[dim]
+	newSize := out.dims[dim]
+	srcStride := m.strides[dim]
+	dstStride := out.strides[dim]
+	inner := srcStride
+	if inner == 1 {
+		// Zero-copy: vector v occupies m.data[v*oldSize : (v+1)*oldSize].
+		for v := lo; v < hi; v++ {
+			f(m.data[v*oldSize:(v+1)*oldSize], out.data[v*newSize:(v+1)*newSize])
+		}
+		return
+	}
+	src := make([]float64, oldSize)
+	dst := make([]float64, newSize)
+	for v := lo; v < hi; v++ {
+		o, in := v/inner, v%inner
+		so := o*oldSize*inner + in
+		for j := 0; j < oldSize; j++ {
+			src[j] = m.data[so+j*srcStride]
+		}
+		f(src, dst)
+		do := o*newSize*inner + in
+		for j := 0; j < newSize; j++ {
+			out.data[do+j*dstStride] = dst[j]
+		}
+	}
+}
+
+// Pipeline is a pair of ping-pong buffers for chained ApplyAlong steps: a
+// transform pass that applies d steps in sequence reuses the same two
+// backing slices instead of allocating d full matrices.
+//
+// Discipline: the input of each ApplyAlong call must be either a matrix
+// external to the pipeline or the result of the previous call on the same
+// pipeline — the call overwrites the buffer the input does NOT occupy.
+// Consequently only the most recent result is valid; earlier results
+// alias overwritten storage. A Pipeline is not safe for concurrent use;
+// give each worker its own.
+type Pipeline struct {
+	bufs [2][]float64
+	next int
+}
+
+// NewPipeline returns an empty pipeline; buffers grow on demand and are
+// retained for reuse.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// take returns buffer i resized to n, growing its capacity as needed.
+func (p *Pipeline) take(i, n int) []float64 {
+	if cap(p.bufs[i]) < n {
+		p.bufs[i] = make([]float64, n)
+	}
+	p.bufs[i] = p.bufs[i][:n]
+	return p.bufs[i]
+}
+
+// aliases reports whether the slice shares its backing start with buffer i.
+// Pipeline matrices always view a buffer from element 0, so comparing the
+// first element's address suffices.
+func (p *Pipeline) aliases(data []float64, i int) bool {
+	return len(data) > 0 && len(p.bufs[i]) > 0 && &data[0] == &p.bufs[i][0]
+}
+
+// ApplyAlong is ApplyAlongPool writing into the pipeline's next buffer.
+// The returned matrix aliases pipeline storage: it is valid only until
+// the next call on this pipeline, and callers must copy out (e.g. via
+// SetSub or Clone) anything they need to keep.
+func (p *Pipeline) ApplyAlong(m *Matrix, dim, newSize, workers int, factory KernelFactory) (*Matrix, error) {
+	newDims, err := m.checkApplyAlong(dim, newSize)
+	if err != nil {
+		return nil, err
+	}
+	total := 1
+	for _, d := range newDims {
+		total *= d
+	}
+	target := p.next
+	if p.aliases(m.data, target) {
+		target = 1 - target // never overwrite the input's own buffer
+	}
+	out := &Matrix{
+		dims:    newDims,
+		strides: stridesFor(newDims),
+		data:    p.take(target, total),
+	}
+	p.next = 1 - target
+	m.applyAlongInto(dim, workers, factory, out)
+	return out, nil
+}
+
+// SubInto is Sub writing into dst, which is reused when it already has
+// the right shape and allocated otherwise; the (possibly new) destination
+// is returned. Pass nil to always allocate.
+func (m *Matrix) SubInto(fixedDims, fixedCoords []int, dst *Matrix) (*Matrix, error) {
+	freeDims, baseOff, err := m.subLayout(fixedDims, fixedCoords)
+	if err != nil {
+		return nil, err
+	}
+	shape := make([]int, len(freeDims))
+	for i, d := range freeDims {
+		shape[i] = m.dims[d]
+	}
+	if dst == nil || !sameDims(dst.dims, shape) {
+		dst, err = New(shape...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.walkSub(freeDims, baseOff, func(srcOff, dstOff int) {
+		dst.data[dstOff] = m.data[srcOff]
+	})
+	return dst, nil
+}

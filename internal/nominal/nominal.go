@@ -66,10 +66,17 @@ func (t *Transform) Forward(v []float64) ([]float64, error) {
 // ForwardInto is Forward into a caller-provided slice of length
 // OutputSize. dst must not alias src.
 func (t *Transform) ForwardInto(src, dst []float64) {
+	t.ForwardIntoScratch(src, dst, make([]float64, t.OutputSize()))
+}
+
+// ForwardIntoScratch is ForwardInto with caller-provided scratch of
+// length ≥ OutputSize, so per-worker transform kernels allocate nothing
+// per call. scratch must alias neither src nor dst.
+func (t *Transform) ForwardIntoScratch(src, dst, scratch []float64) {
 	nodes := t.h.Nodes()
 	// leafSum per node, computable in one reverse level-order sweep
 	// because children always have larger IDs than their parent.
-	sums := make([]float64, len(nodes))
+	sums := scratch[:len(nodes)]
 	for i := len(nodes) - 1; i >= 0; i-- {
 		n := nodes[i]
 		if n.IsLeaf() {
@@ -107,12 +114,18 @@ func (t *Transform) Inverse(coeffs []float64) ([]float64, error) {
 // InverseInto is Inverse into a caller-provided slice of length InputSize.
 // dst must not alias src.
 func (t *Transform) InverseInto(src, dst []float64) {
+	t.InverseIntoScratch(src, dst, make([]float64, t.OutputSize()))
+}
+
+// InverseIntoScratch is InverseInto with caller-provided scratch of
+// length ≥ OutputSize. scratch must alias neither src nor dst.
+func (t *Transform) InverseIntoScratch(src, dst, scratch []float64) {
 	nodes := t.h.Nodes()
 	// Recover each node's (noisy) leaf-sum top-down:
 	//   leafSum(root) = c_root
 	//   leafSum(N)    = c_N + leafSum(parent)/fanout(parent),
 	// which is exactly the recursion behind Equation 5.
-	sums := make([]float64, len(nodes))
+	sums := scratch[:len(nodes)]
 	for i, n := range nodes {
 		if n.Parent == nil {
 			sums[i] = src[i]

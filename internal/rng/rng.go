@@ -34,13 +34,34 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64() ^ 0x9e3779b97f4a7c15)
 }
 
-// Uint64 returns the next 64 uniformly distributed bits.
-func (s *Source) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
+// mix64 is the splitmix64 finalizer: a bijective avalanche function on
+// uint64. It is the same mixing step Uint64 applies to its counter, used
+// standalone for key derivation.
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// Substream returns the deterministic Source for substream `stream` of the
+// given seed. Unlike Split, the derivation is position-independent: it
+// depends only on (seed, stream), never on how many draws any other
+// source has made, so work split across a worker pool can give each unit
+// a substream keyed by its index and produce bit-identical output at any
+// parallelism level.
+//
+// The derivation hashes seed and stream through two rounds of the
+// splitmix64 finalizer with distinct additive constants, so substreams of
+// the same seed — and equal stream indices of different seeds — start in
+// well-separated states.
+func Substream(seed, stream uint64) *Source {
+	return New(mix64(mix64(seed+0x9e3779b97f4a7c15) + stream*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix64(s.state)
 }
 
 // Float64 returns a uniform float64 in [0, 1). It uses the top 53 bits of

@@ -372,3 +372,52 @@ func TestLaplaceFiniteQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSubstreamDeterministic(t *testing.T) {
+	a := Substream(42, 7)
+	b := Substream(42, 7)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestSubstreamsDistinct(t *testing.T) {
+	// Streams of one seed, and equal stream indices of nearby seeds, must
+	// all start from distinct states: collect first draws and check for
+	// collisions across a grid of (seed, stream) pairs.
+	seen := make(map[uint64][2]uint64)
+	for seed := uint64(0); seed < 64; seed++ {
+		for stream := uint64(0); stream < 64; stream++ {
+			v := Substream(seed, stream).Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("first draw collision: (%d,%d) vs (%d,%d)", seed, stream, prev[0], prev[1])
+			}
+			seen[v] = [2]uint64{seed, stream}
+		}
+	}
+}
+
+func TestSubstreamLaplaceMoments(t *testing.T) {
+	// A substream is a full-quality generator: Laplace draws from it must
+	// have roughly the right mean and variance (2b²).
+	s := Substream(9, 3)
+	const n = 200_000
+	b := 1.5
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Laplace(b)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	want := 2 * b * b
+	if math.Abs(variance-want) > 0.1*want {
+		t.Errorf("variance = %v, want ~%v", variance, want)
+	}
+}

@@ -6,7 +6,7 @@
 //
 // Endpoints:
 //
-//	POST /publish?schema=...&epsilon=...&sa=...&seed=...&mechanism=...
+//	POST /publish?schema=...&epsilon=...&sa=...&seed=...&mechanism=...&parallelism=...
 //	     body: headerless integer CSV           → {"id": "...", ...}
 //	GET  /releases                              → list of release summaries
 //	GET  /releases/{id}                         → one summary
@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,6 +44,9 @@ type release struct {
 	noisy  *matrix.Matrix
 	eval   *query.Evaluator
 	meta   codec.Meta
+	// workers is the effective publish parallelism after clamping —
+	// operational metadata only; the release values never depend on it.
+	workers int
 }
 
 // Server is an in-memory release store with an HTTP front end. The zero
@@ -53,6 +57,9 @@ type Server struct {
 	nextID   int
 	// maxBody bounds the accepted CSV upload size.
 	maxBody int64
+	// parallelism is the per-publish worker default; ≤ 0 lets the core
+	// engine use GOMAXPROCS.
+	parallelism int
 }
 
 // New returns an empty server. maxBodyBytes bounds uploads (≤ 0 means
@@ -66,6 +73,13 @@ func New(maxBodyBytes int64) *Server {
 		maxBody:  maxBodyBytes,
 	}
 }
+
+// SetParallelism sets the default worker count a publish request uses
+// (≤ 0 means all cores). Releases never depend on it, so a deployment
+// serving many concurrent publishers can lower it to stop requests from
+// competing for every core while a single-tenant box keeps the default.
+// Call before the handler starts serving.
+func (s *Server) SetParallelism(p int) { s.parallelism = p }
 
 // Handler returns the HTTP handler for the server's API.
 func (s *Server) Handler() http.Handler {
@@ -88,6 +102,7 @@ type summary struct {
 	Bound     float64  `json:"variance_bound"`
 	Entries   int      `json:"entries"`
 	Attrs     []string `json:"attributes"`
+	Workers   int      `json:"workers"`
 }
 
 func (r *release) summarize() summary {
@@ -104,6 +119,7 @@ func (r *release) summarize() summary {
 		Bound:     r.meta.Bound,
 		Entries:   r.noisy.Len(),
 		Attrs:     attrs,
+		Workers:   r.workers,
 	}
 }
 
@@ -138,6 +154,27 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 	if mechanism == "" {
 		mechanism = "privelet+"
 	}
+	// Publish worker count: requests may lower it below the ceiling —
+	// the operator's SetParallelism when set, capped at the machine's
+	// core count — but never raise it. An omitted or non-positive
+	// parameter means the ceiling itself, so ?parallelism=0 and no
+	// parameter behave identically and a client cannot launder 0/-1
+	// into more workers than the operator allows.
+	ceiling := runtime.GOMAXPROCS(0)
+	if s.parallelism > 0 && s.parallelism < ceiling {
+		ceiling = s.parallelism
+	}
+	par := ceiling
+	if v := qp.Get("parallelism"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad parallelism: "+err.Error())
+			return
+		}
+		if p > 0 && p < ceiling {
+			par = p
+		}
+	}
 
 	table, err := cli.ReadTable(schema, http.MaxBytesReader(w, req.Body, s.maxBody))
 	if err != nil {
@@ -149,7 +186,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 	var meta codec.Meta
 	switch mechanism {
 	case "privelet+":
-		res, err := core.Publish(table, core.Options{Epsilon: epsilon, SA: sa, Seed: seed})
+		res, err := core.Publish(table, core.Options{Epsilon: epsilon, SA: sa, Seed: seed, Parallelism: par})
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
@@ -157,7 +194,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 		noisy = res.Noisy
 		meta = codec.Meta{Mechanism: mechanism, Epsilon: res.Epsilon, Rho: res.Rho, Lambda: res.Lambda, Bound: res.VarianceBound}
 	case "basic":
-		res, err := core.Publish(table, core.Options{Epsilon: epsilon, SA: allNames(schema), Seed: seed})
+		res, err := core.Publish(table, core.Options{Epsilon: epsilon, SA: allNames(schema), Seed: seed, Parallelism: par})
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
@@ -170,10 +207,11 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 	}
 
 	rel := &release{
-		schema: schema,
-		noisy:  noisy,
-		eval:   query.NewEvaluator(noisy),
-		meta:   meta,
+		schema:  schema,
+		noisy:   noisy,
+		eval:    query.NewEvaluator(noisy),
+		meta:    meta,
+		workers: par,
 	}
 	s.mu.Lock()
 	s.nextID++

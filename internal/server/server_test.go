@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/cli"
@@ -325,4 +326,129 @@ func TestServerMatchesLibrary(t *testing.T) {
 		t.Fatalf("implausible count %v", out.Count)
 	}
 	_ = fmt.Sprintf
+}
+
+// count fetches /releases/{id}/count?q=... and returns the count.
+func countQuery(t *testing.T, ts *httptest.Server, id, q string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/releases/" + id + "/count?q=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("count status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Count float64 `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Count
+}
+
+// TestPublishParallelismParam: the parallelism knob must never change the
+// released values — same seed at parallelism 1 and 4 answers every probe
+// query identically.
+func TestPublishParallelismParam(t *testing.T) {
+	ts := startServer(t)
+	serial := publish(t, ts,
+		"schema="+testSchema+"&epsilon=0.5&seed=21&parallelism=1", testCSV)
+	parallel := publish(t, ts,
+		"schema="+testSchema+"&epsilon=0.5&seed=21&parallelism=4", testCSV)
+	for _, q := range []string{"", "Age=0..3", "Occ=@g0", "Age=2..6,Occ=%231"} {
+		a := countQuery(t, ts, serial.ID, q)
+		b := countQuery(t, ts, parallel.ID, q)
+		if a != b {
+			t.Errorf("q=%q: parallelism 1 count %v != parallelism 4 count %v", q, a, b)
+		}
+	}
+}
+
+func TestPublishBadParallelism(t *testing.T) {
+	ts := startServer(t)
+	resp, err := http.Post(ts.URL+"/publish?schema="+testSchema+"&parallelism=two",
+		"text/csv", strings.NewReader(testCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestConcurrentPublishes hammers the publish endpoint from many clients
+// at once (each publish itself fans out internally); -race is the judge.
+func TestConcurrentPublishes(t *testing.T) {
+	ts := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp, err := http.Post(
+				ts.URL+fmt.Sprintf("/publish?schema=%s&epsilon=1&seed=%d", testSchema, g),
+				"text/csv", strings.NewReader(testCSV))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				raw, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Sprintf("status %d: %s", resp.StatusCode, raw)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	resp, err := http.Get(ts.URL + "/releases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []summary
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 16 {
+		t.Fatalf("got %d releases, want 16", len(list))
+	}
+}
+
+// TestParallelismCeiling: a client override may lower the worker count
+// but never exceed the operator's SetParallelism ceiling, and 0/-1 mean
+// "the ceiling" rather than "all cores". The effective count is echoed
+// as the summary's "workers" field, which is what makes the clamp
+// observable — release values are parallelism-independent by design.
+func TestParallelismCeiling(t *testing.T) {
+	srv := New(0)
+	srv.SetParallelism(1)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	var first summary
+	for i, p := range []string{"9999", "0", "-1", "1", ""} {
+		params := "schema=" + testSchema + "&epsilon=0.5&seed=77"
+		if p != "" {
+			params += "&parallelism=" + p
+		}
+		sum := publish(t, ts, params, testCSV)
+		if sum.Workers != 1 {
+			t.Errorf("parallelism=%q: effective workers %d, want the operator ceiling 1", p, sum.Workers)
+		}
+		if i == 0 {
+			first = sum
+			continue
+		}
+		if a, b := countQuery(t, ts, first.ID, "Age=0..5"), countQuery(t, ts, sum.ID, "Age=0..5"); a != b {
+			t.Errorf("parallelism=%s: count %v != %v", p, b, a)
+		}
+	}
 }

@@ -1,0 +1,172 @@
+package transform
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/matrix"
+	"repro/internal/rng"
+)
+
+// testHN builds a mixed ordinal/nominal transform whose ordinal dimension
+// needs padding (6 → 8), exercising the fused-pad kernel.
+func testHN(t *testing.T) *HN {
+	t.Helper()
+	h, err := hierarchy.ThreeLevel(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, err := New(Ordinal(6), Nominal(h), Ordinal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hn
+}
+
+func randomInput(t *testing.T, hn *HN, seed uint64) *matrix.Matrix {
+	t.Helper()
+	m, err := matrix.New(hn.InputDims()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	data := m.Data()
+	for i := range data {
+		data[i] = float64(r.Intn(50))
+	}
+	return m
+}
+
+// TestHNConcurrentUse backs the doc claim "HN is immutable after New and
+// safe for concurrent use": many goroutines round-trip through one shared
+// HN under -race, each checking its own result.
+func TestHNConcurrentUse(t *testing.T) {
+	hn := testHN(t)
+	goroutines := 4 * runtime.GOMAXPROCS(0)
+	if goroutines < 8 {
+		goroutines = 8
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := randomInput(t, hn, uint64(g))
+			for iter := 0; iter < 5; iter++ {
+				c, err := hn.Forward(m)
+				if err != nil {
+					errs <- err
+					return
+				}
+				rec, err := hn.Inverse(c)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !rec.AlmostEqual(m, 1e-9) {
+					t.Errorf("goroutine %d: round-trip diverged", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestExecMatchesSerial proves the engine invariant the publish property
+// test builds on: ForwardExec/InverseExec produce bit-identical matrices
+// at any worker count, with and without a pipeline.
+func TestExecMatchesSerial(t *testing.T) {
+	hn := testHN(t)
+	m := randomInput(t, hn, 99)
+	wantC, err := hn.Forward(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRec, err := hn.Inverse(wantC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, withPipe := range []bool{false, true} {
+			ex := Exec{Workers: workers}
+			if withPipe {
+				ex.Pipe = matrix.NewPipeline()
+			}
+			c, err := hn.ForwardExec(m, ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d, _ := wantC.MaxAbsDiff(c); d != 0 {
+				t.Fatalf("workers=%d pipe=%v: forward diverged by %v", workers, withPipe, d)
+			}
+			rec, err := hn.InverseExec(c, ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d, _ := wantRec.MaxAbsDiff(rec); d != 0 {
+				t.Fatalf("workers=%d pipe=%v: inverse diverged by %v", workers, withPipe, d)
+			}
+		}
+	}
+}
+
+// TestExecPipelineRepeatedPasses runs many forward+inverse passes through
+// one pipeline (the per-worker usage pattern of the publish engine) and
+// checks each pass is self-consistent after buffer reuse.
+func TestExecPipelineRepeatedPasses(t *testing.T) {
+	hn := testHN(t)
+	ex := Exec{Workers: 2, Pipe: matrix.NewPipeline()}
+	for pass := uint64(0); pass < 6; pass++ {
+		m := randomInput(t, hn, pass)
+		c, err := hn.ForwardExec(m, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := hn.InverseExec(c, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.AlmostEqual(m, 1e-9) {
+			t.Fatalf("pass %d: round-trip diverged after buffer reuse", pass)
+		}
+	}
+}
+
+// TestFusedPadMatchesExplicitPad guards the fused-padding kernel against
+// drift from the spec it replaced: Forward on an unpadded input must
+// equal Forward on the same input explicitly zero-padded with Matrix.Pad
+// (§IV's remedy as two separate passes).
+func TestFusedPadMatchesExplicitPad(t *testing.T) {
+	hn, err := New(Ordinal(6), Ordinal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := randomInput(t, hn, 31)
+	fused, err := hn.Forward(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := m.Pad(0, 8) // 6 → next power of two
+	if err != nil {
+		t.Fatal(err)
+	}
+	hnPadded, err := New(Ordinal(8), Ordinal(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := hnPadded.Forward(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := fused.MaxAbsDiff(explicit); d != 0 {
+		t.Fatalf("fused padding diverged from explicit Pad by %v", d)
+	}
+}

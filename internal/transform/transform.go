@@ -159,28 +159,75 @@ func (t *HN) CoeffDims() []int {
 // privacy formulas use).
 func (t *HN) PaddedSize(i int) int { return t.dims[i].padded }
 
+// Exec carries the execution resources of a transform pass through the
+// parallel publish engine.
+type Exec struct {
+	// Workers is the goroutine count each ApplyAlong step fans out to;
+	// values ≤ 1 run serially on the calling goroutine. Output is
+	// bit-identical at any worker count.
+	Workers int
+	// Pipe, when non-nil, supplies ping-pong buffers the pass's steps
+	// alternate between, so a d-step pass allocates no full matrices
+	// after warm-up. The returned matrix then aliases pipeline storage:
+	// it is invalidated by the next pass using the same pipeline, and the
+	// pipeline must not be shared between goroutines.
+	Pipe *matrix.Pipeline
+}
+
+// apply runs one ApplyAlong step under the exec policy.
+func (ex Exec) apply(m *matrix.Matrix, dim, newSize int, factory matrix.KernelFactory) (*matrix.Matrix, error) {
+	if ex.Pipe != nil {
+		return ex.Pipe.ApplyAlong(m, dim, newSize, ex.Workers, factory)
+	}
+	return m.ApplyAlongPool(dim, newSize, ex.Workers, factory)
+}
+
 // Forward applies the HN transform to M and returns the coefficient
-// matrix C_d.
+// matrix C_d. Shorthand for ForwardExec with serial, allocating
+// execution.
 func (t *HN) Forward(m *matrix.Matrix) (*matrix.Matrix, error) {
+	return t.ForwardExec(m, Exec{})
+}
+
+// forwardKernel returns the kernel factory of dimension i's forward step.
+// Power-of-two padding of ordinal dimensions (§IV's remedy) is fused into
+// the kernel: src may be the unpadded |A|-length vector, which the kernel
+// zero-extends in per-worker scratch before transforming.
+func (t *HN) forwardKernel(i int) matrix.KernelFactory {
+	d := t.dims[i]
+	switch d.spec.Kind {
+	case KindOrdinal:
+		// ForwardPaddedIntoScratch zero-extends src to d.padded in its
+		// own scratch, so the unpadded and padded cases share one kernel.
+		return func() matrix.VecFunc {
+			scratch := make([]float64, d.padded)
+			return func(src, dst []float64) {
+				haar.ForwardPaddedIntoScratch(src, dst, scratch)
+			}
+		}
+	default: // KindNominal, validated in New
+		nt := d.nom
+		return func() matrix.VecFunc {
+			scratch := make([]float64, d.coeffs)
+			return func(src, dst []float64) {
+				nt.ForwardIntoScratch(src, dst, scratch)
+			}
+		}
+	}
+}
+
+// ForwardExec is Forward under an execution policy: each of the d
+// standard-decomposition steps fans its independent vectors across
+// ex.Workers goroutines, and with ex.Pipe set the steps ping-pong between
+// two reused buffers instead of allocating d matrices.
+func (t *HN) ForwardExec(m *matrix.Matrix, ex Exec) (*matrix.Matrix, error) {
 	if err := t.checkInput(m); err != nil {
 		return nil, err
 	}
 	cur := m
 	for i, d := range t.dims {
 		var err error
-		if d.spec.Kind == KindOrdinal && d.padded != d.size {
-			cur, err = cur.Pad(i, d.padded)
-			if err != nil {
-				return nil, fmt.Errorf("transform: pad dimension %d: %w", i, err)
-			}
-		}
-		switch d.spec.Kind {
-		case KindOrdinal:
-			cur, err = cur.ApplyAlong(i, d.coeffs, haar.ForwardInto)
-		case KindNominal:
-			nt := d.nom
-			cur, err = cur.ApplyAlong(i, d.coeffs, nt.ForwardInto)
-		}
+		cur, err = ex.apply(cur, i, d.coeffs, t.forwardKernel(i))
 		if err != nil {
 			return nil, fmt.Errorf("transform: forward dimension %d: %w", i, err)
 		}
@@ -191,8 +238,44 @@ func (t *HN) Forward(m *matrix.Matrix) (*matrix.Matrix, error) {
 // Inverse reconstructs the frequency matrix from a coefficient matrix,
 // applying mean subtraction along every nominal dimension before that
 // dimension's inverse step (footnote 2 of §VI-B). The input is not
-// modified.
+// modified. Shorthand for InverseExec with serial, allocating execution.
 func (t *HN) Inverse(c *matrix.Matrix) (*matrix.Matrix, error) {
+	return t.InverseExec(c, Exec{})
+}
+
+// inverseKernel returns the kernel factory of dimension i's inverse step.
+// Every kernel instance owns its scratch, so instances from one factory
+// may run concurrently on distinct workers.
+func (t *HN) inverseKernel(i int) matrix.KernelFactory {
+	d := t.dims[i]
+	switch d.spec.Kind {
+	case KindOrdinal:
+		return func() matrix.VecFunc {
+			padded := make([]float64, d.padded)
+			return func(src, dst []float64) {
+				haar.InverseInto(src, padded)
+				copy(dst, padded[:d.size])
+			}
+		}
+	default: // KindNominal, validated in New
+		nt := d.nom
+		return func() matrix.VecFunc {
+			coeffs := make([]float64, d.coeffs)
+			sums := make([]float64, d.coeffs)
+			return func(src, dst []float64) {
+				copy(coeffs, src)
+				// Errors are impossible here: coeffs has the exact size.
+				_ = nt.MeanSubtract(coeffs)
+				nt.InverseIntoScratch(coeffs, dst, sums)
+			}
+		}
+	}
+}
+
+// InverseExec is Inverse under an execution policy; see ForwardExec. A
+// publish pass chains ForwardExec → noise injection → InverseExec through
+// one pipeline, touching only the two ping-pong buffers throughout.
+func (t *HN) InverseExec(c *matrix.Matrix, ex Exec) (*matrix.Matrix, error) {
 	got := c.Dims()
 	want := t.CoeffDims()
 	for i := range want {
@@ -202,25 +285,8 @@ func (t *HN) Inverse(c *matrix.Matrix) (*matrix.Matrix, error) {
 	}
 	cur := c
 	for i := len(t.dims) - 1; i >= 0; i-- {
-		d := t.dims[i]
 		var err error
-		switch d.spec.Kind {
-		case KindOrdinal:
-			padded := make([]float64, d.padded)
-			cur, err = cur.ApplyAlong(i, d.size, func(src, dst []float64) {
-				haar.InverseInto(src, padded)
-				copy(dst, padded[:d.size])
-			})
-		case KindNominal:
-			nt := d.nom
-			scratch := make([]float64, d.coeffs)
-			cur, err = cur.ApplyAlong(i, d.size, func(src, dst []float64) {
-				copy(scratch, src)
-				// Errors are impossible here: scratch has the exact size.
-				_ = nt.MeanSubtract(scratch)
-				nt.InverseInto(scratch, dst)
-			})
-		}
+		cur, err = ex.apply(cur, i, t.dims[i].size, t.inverseKernel(i))
 		if err != nil {
 			return nil, fmt.Errorf("transform: inverse dimension %d: %w", i, err)
 		}

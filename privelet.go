@@ -10,6 +10,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/matrix"
 	"repro/internal/postprocess"
+	"repro/internal/privacy"
 	"repro/internal/query"
 )
 
@@ -64,11 +65,16 @@ type Options struct {
 	// SA lists attributes to exclude from the wavelet transform
 	// (Privelet+). nil is plain Privelet; all attributes is Basic.
 	SA []string
-	// Seed drives the (deterministic) noise stream.
+	// Seed drives the (deterministic) noise stream; equal seeds give
+	// bit-identical releases at any Parallelism.
 	Seed uint64
 	// Sanitize, when set, post-processes the release to non-negative
 	// integer counts. Free of privacy cost.
 	Sanitize bool
+	// Parallelism caps the publish engine's worker goroutines; ≤ 0
+	// defaults to runtime.GOMAXPROCS(0). It never affects the release's
+	// values, only how fast they are computed.
+	Parallelism int
 }
 
 // Release is a published noisy frequency matrix plus everything needed to
@@ -87,7 +93,9 @@ type Release struct {
 // Publish releases the table's frequency matrix under ε-differential
 // privacy with Privelet+ (the paper's Figure 5). It runs in O(n + m).
 func Publish(t *Table, opts Options) (*Release, error) {
-	res, err := core.Publish(t, core.Options{Epsilon: opts.Epsilon, SA: opts.SA, Seed: opts.Seed})
+	res, err := core.Publish(t, core.Options{
+		Epsilon: opts.Epsilon, SA: opts.SA, Seed: opts.Seed, Parallelism: opts.Parallelism,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +130,7 @@ func PublishBasic(t *Table, epsilon float64, seed uint64) (*Release, error) {
 		eps:     epsilon,
 		rho:     1,
 		lambda:  res.Magnitude,
-		bound:   8 / (epsilon * epsilon) * float64(t.Schema().DomainSize()),
+		bound:   privacy.BasicVarianceBound(epsilon, t.Schema().DomainSize()),
 		machine: "basic",
 	}, nil
 }
