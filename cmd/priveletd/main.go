@@ -1,6 +1,6 @@
 // Command priveletd serves differentially-private releases over HTTP.
 //
-//	priveletd -addr :8080
+//	priveletd -addr :8080 -store-dir /var/lib/privelet -max-resident 64
 //
 //	# publish a table (budget is spent here, once)
 //	curl -X POST --data-binary @data.csv \
@@ -11,6 +11,14 @@
 //
 //	# download the release for offline use (cmd/privelet-compatible codec)
 //	curl -o release.prvl 'localhost:8080/releases/r1/export'
+//
+//	# watch the store: shards, resident/spilled counts, evictions, reloads
+//	curl 'localhost:8080/stats'
+//
+// Releases live in a sharded store (internal/store). With -store-dir set
+// every release is also written through to disk, so the daemon survives
+// restarts, and -max-resident bounds how many releases keep their matrix
+// in memory — colder ones are served by transparent reload from disk.
 //
 // See internal/server for the full API and query syntax.
 package main
@@ -23,18 +31,28 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		maxBody = flag.Int64("max-body", 64<<20, "maximum upload size in bytes")
-		workers = flag.Int("parallelism", 0, "default worker goroutines per publish (0 = all cores); lower it when serving many concurrent publishers")
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxBody     = flag.Int64("max-body", 64<<20, "maximum upload size in bytes")
+		workers     = flag.Int("parallelism", 0, "default worker goroutines per publish (0 = all cores); lower it when serving many concurrent publishers")
+		storeDir    = flag.String("store-dir", "", "directory for durable release storage; releases already there are served after a restart (empty = memory only)")
+		maxResident = flag.Int("max-resident", 0, "max releases kept in memory; colder ones spill to -store-dir and reload on access (0 = unlimited)")
+		shards      = flag.Int("shards", 0, fmt.Sprintf("release-store lock stripes (0 = default %d)", store.DefaultShards))
 	)
 	flag.Parse()
 
-	srv := server.New(*maxBody)
-	srv.SetParallelism(*workers)
+	st, err := store.New(store.Config{Dir: *storeDir, MaxResident: *maxResident, Shards: *shards})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := st.Len(); n > 0 {
+		fmt.Printf("priveletd recovered %d release(s) from %s\n", n, *storeDir)
+	}
+	srv := server.New(server.Config{MaxBody: *maxBody, Parallelism: *workers, Store: st})
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

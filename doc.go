@@ -58,6 +58,16 @@
 // internal/rng.Substream — not by visit order, so equal seeds give
 // bit-identical releases at parallelism 1, 4, or a whole fleet of cores.
 //
+// # Serving releases
+//
+// A release is a publish-once artifact: Save writes it in a versioned
+// binary format and Load reconstructs it with no further privacy cost.
+// The same format backs the whole deployment story — cmd/priveletd
+// serves releases over HTTP from a sharded release store
+// (internal/store) that spills cold releases to disk and recovers them
+// after a restart, and its /export endpoint, its spill files, and
+// Save/Load are byte-compatible with each other.
+//
 // # Security note
 //
 // This library reproduces the paper's mechanisms for research and

@@ -77,7 +77,7 @@ func TestCSVToServerToExportToLibrary(t *testing.T) {
 		",Income:ordinal:" + itoa(spec.IncomeSize)
 
 	// 2. Publish through the HTTP server.
-	ts := httptest.NewServer(server.New(0).Handler())
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
 	defer ts.Close()
 	resp, err := http.Post(
 		ts.URL+"/publish?schema="+schemaClause+"&epsilon=1&sa=Age,Gender&seed=12",

@@ -1,6 +1,9 @@
 // Package cli holds the schema-clause and CSV parsing shared by the
-// command-line tools, split out of cmd/privelet so it can be tested
-// directly.
+// command-line tools and the HTTP server, split out of cmd/privelet so
+// it can be tested directly. Schema clauses (Name:ordinal:SIZE,
+// Name:nominal:flat:N, Name:nominal:3level:GxL) are the textual form of
+// the paper's attribute model (§II-A: ordinal and hierarchy-bearing
+// nominal attributes).
 package cli
 
 import (

@@ -1,5 +1,6 @@
 // Package rng provides a small, deterministic random number generator and
-// the distribution samplers the Privelet mechanisms need.
+// the distribution samplers the Privelet mechanisms need — chiefly the
+// Laplace noise every mechanism in the paper injects (§II-B, §III).
 //
 // All randomness in this repository flows through rng.Source so that every
 // experiment is reproducible from a single uint64 seed, independent of any

@@ -1,8 +1,14 @@
 // Package server exposes releases over HTTP so analysts can query a
 // published noisy matrix without the raw data (or the Go library). It is
 // the thin "serving" layer a downstream deployment of Privelet needs:
-// the privacy budget was spent at publish time, so the server can answer
-// unlimited queries with no further accounting.
+// the privacy budget was spent at publish time (paper §III: the release
+// step is where ε is consumed), so the server can answer unlimited
+// queries with no further accounting.
+//
+// Releases live in an internal/store.Store — sharded for concurrent
+// multi-tenant traffic and, when configured with a spill directory,
+// bounded in memory and durable across restarts. See that package for
+// the serving-model rationale.
 //
 // Endpoints:
 //
@@ -12,6 +18,7 @@
 //	GET  /releases/{id}                         → one summary
 //	GET  /releases/{id}/count?q=...             → {"count": ...}
 //	GET  /releases/{id}/export                  → binary codec payload
+//	GET  /stats                                 → store accounting (evictions, reloads, ...)
 //
 // Query syntax (q parameter): comma-separated predicates,
 //
@@ -22,12 +29,13 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/cli"
 	"repro/internal/codec"
@@ -35,51 +43,68 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/matrix"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
-// release is one stored publication.
-type release struct {
-	id     string
-	schema *dataset.Schema
-	noisy  *matrix.Matrix
-	eval   *query.Evaluator
-	meta   codec.Meta
-	// workers is the effective publish parallelism after clamping —
-	// operational metadata only; the release values never depend on it.
-	workers int
+// Config configures a Server.
+type Config struct {
+	// MaxBody bounds the accepted CSV upload size in bytes; ≤ 0 means
+	// the default 64 MiB.
+	MaxBody int64
+	// Parallelism is the per-publish worker ceiling; ≤ 0 means
+	// GOMAXPROCS. Releases never depend on it, so a deployment serving
+	// many concurrent publishers can lower it to stop requests from
+	// competing for every core while a single-tenant box keeps the
+	// default.
+	Parallelism int
+	// Store holds the releases. nil means an unbounded in-memory store;
+	// inject a spillable one (store.Config{Dir, MaxResident}) to bound
+	// memory and survive restarts.
+	Store *store.Store
 }
 
-// Server is an in-memory release store with an HTTP front end. The zero
-// value is not usable; construct with New.
+// Server is an HTTP front end over a release store. The zero value is
+// not usable; construct with New.
 type Server struct {
-	mu       sync.RWMutex
-	releases map[string]*release
-	nextID   int
-	// maxBody bounds the accepted CSV upload size.
-	maxBody int64
-	// parallelism is the per-publish worker default; ≤ 0 lets the core
-	// engine use GOMAXPROCS.
+	store       *store.Store
+	maxBody     int64
 	parallelism int
+	// nextID mints release IDs; seeded past any IDs recovered from the
+	// store's spill directory so a restarted daemon never collides.
+	nextID atomic.Int64
 }
 
-// New returns an empty server. maxBodyBytes bounds uploads (≤ 0 means
-// the default 64 MiB).
-func New(maxBodyBytes int64) *Server {
-	if maxBodyBytes <= 0 {
-		maxBodyBytes = 64 << 20
+// New returns a server over cfg.Store (or a fresh unbounded in-memory
+// store when nil).
+func New(cfg Config) *Server {
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 64 << 20
 	}
-	return &Server{
-		releases: make(map[string]*release),
-		maxBody:  maxBodyBytes,
+	st := cfg.Store
+	if st == nil {
+		// The zero store config cannot fail.
+		st, _ = store.New(store.Config{})
 	}
+	s := &Server{store: st, maxBody: cfg.MaxBody, parallelism: cfg.Parallelism}
+	for _, stub := range st.List() {
+		if n, ok := parseReleaseID(stub.ID); ok && n > s.nextID.Load() {
+			s.nextID.Store(n)
+		}
+	}
+	return s
 }
 
-// SetParallelism sets the default worker count a publish request uses
-// (≤ 0 means all cores). Releases never depend on it, so a deployment
-// serving many concurrent publishers can lower it to stop requests from
-// competing for every core while a single-tenant box keeps the default.
-// Call before the handler starts serving.
-func (s *Server) SetParallelism(p int) { s.parallelism = p }
+// parseReleaseID extracts N from the server's "rN" ID scheme.
+func parseReleaseID(id string) (int64, bool) {
+	if !strings.HasPrefix(id, "r") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
 
 // Handler returns the HTTP handler for the server's API.
 func (s *Server) Handler() http.Handler {
@@ -89,6 +114,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /releases/{id}", s.handleGet)
 	mux.HandleFunc("GET /releases/{id}/count", s.handleCount)
 	mux.HandleFunc("GET /releases/{id}/export", s.handleExport)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
 
@@ -103,23 +129,21 @@ type summary struct {
 	Entries   int      `json:"entries"`
 	Attrs     []string `json:"attributes"`
 	Workers   int      `json:"workers"`
+	Resident  bool     `json:"resident"`
 }
 
-func (r *release) summarize() summary {
-	attrs := make([]string, r.schema.NumAttrs())
-	for i := range attrs {
-		attrs[i] = r.schema.Attr(i).Name
-	}
+func stubSummary(st store.Stub) summary {
 	return summary{
-		ID:        r.id,
-		Mechanism: r.meta.Mechanism,
-		Epsilon:   r.meta.Epsilon,
-		Rho:       r.meta.Rho,
-		Lambda:    r.meta.Lambda,
-		Bound:     r.meta.Bound,
-		Entries:   r.noisy.Len(),
-		Attrs:     attrs,
-		Workers:   r.workers,
+		ID:        st.ID,
+		Mechanism: st.Meta.Mechanism,
+		Epsilon:   st.Meta.Epsilon,
+		Rho:       st.Meta.Rho,
+		Lambda:    st.Meta.Lambda,
+		Bound:     st.Meta.Bound,
+		Entries:   st.Entries,
+		Attrs:     st.Attrs,
+		Workers:   st.Workers,
+		Resident:  st.Resident,
 	}
 }
 
@@ -155,11 +179,11 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 		mechanism = "privelet+"
 	}
 	// Publish worker count: requests may lower it below the ceiling —
-	// the operator's SetParallelism when set, capped at the machine's
-	// core count — but never raise it. An omitted or non-positive
-	// parameter means the ceiling itself, so ?parallelism=0 and no
-	// parameter behave identically and a client cannot launder 0/-1
-	// into more workers than the operator allows.
+	// the operator's Config.Parallelism when set, capped at the
+	// machine's core count — but never raise it. An omitted or
+	// non-positive parameter means the ceiling itself, so ?parallelism=0
+	// and no parameter behave identically and a client cannot launder
+	// 0/-1 into more workers than the operator allows.
 	ceiling := runtime.GOMAXPROCS(0)
 	if s.parallelism > 0 && s.parallelism < ceiling {
 		ceiling = s.parallelism
@@ -206,61 +230,79 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	rel := &release{
-		schema:  schema,
-		noisy:   noisy,
-		eval:    query.NewEvaluator(noisy),
-		meta:    meta,
-		workers: par,
+	id := fmt.Sprintf("r%d", s.nextID.Add(1))
+	payload := &codec.Payload{Meta: meta, Schema: schema, Noisy: noisy}
+	if err := s.store.Put(id, payload, par); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
 	}
-	s.mu.Lock()
-	s.nextID++
-	rel.id = fmt.Sprintf("r%d", s.nextID)
-	s.releases[rel.id] = rel
-	s.mu.Unlock()
-
-	writeJSON(w, http.StatusCreated, rel.summarize())
+	// The summary is built from data in hand rather than read back from
+	// the store: a freshly-put release is resident by definition.
+	writeJSON(w, http.StatusCreated, summary{
+		ID:        id,
+		Mechanism: meta.Mechanism,
+		Epsilon:   meta.Epsilon,
+		Rho:       meta.Rho,
+		Lambda:    meta.Lambda,
+		Bound:     meta.Bound,
+		Entries:   noisy.Len(),
+		Attrs:     allNames(schema),
+		Workers:   par,
+		Resident:  true,
+	})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	out := make([]summary, 0, len(s.releases))
-	for _, r := range s.releases {
-		out = append(out, r.summarize())
+	stubs := s.store.List()
+	out := make([]summary, 0, len(stubs))
+	for _, st := range stubs {
+		out = append(out, stubSummary(st))
 	}
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) lookup(w http.ResponseWriter, req *http.Request) *release {
+// lookup fetches the full release, transparently reloading a spilled
+// one; it writes the error response itself and reports ok=false then.
+func (s *Server) lookup(w http.ResponseWriter, req *http.Request) (store.Release, bool) {
 	id := req.PathValue("id")
-	s.mu.RLock()
-	rel := s.releases[id]
-	s.mu.RUnlock()
-	if rel == nil {
+	rel, err := s.store.Get(id)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
 		httpError(w, http.StatusNotFound, fmt.Sprintf("no release %q", id))
-		return nil
+		return store.Release{}, false
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return store.Release{}, false
 	}
-	return rel
+	return rel, true
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
-	if rel := s.lookup(w, req); rel != nil {
-		writeJSON(w, http.StatusOK, rel.summarize())
+	// Describe never touches disk, so listing metadata cannot thrash
+	// the resident budget.
+	id := req.PathValue("id")
+	stub, err := s.store.Describe(id)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no release %q", id))
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, stubSummary(stub))
 	}
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, req *http.Request) {
-	rel := s.lookup(w, req)
-	if rel == nil {
+	rel, ok := s.lookup(w, req)
+	if !ok {
 		return
 	}
-	q, err := ParseQuery(rel.schema, req.URL.Query().Get("q"))
+	q, err := ParseQuery(rel.Payload.Schema, req.URL.Query().Get("q"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	count, err := rel.eval.Count(q)
+	count, err := rel.Eval.Count(q)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -272,16 +314,19 @@ func (s *Server) handleCount(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleExport(w http.ResponseWriter, req *http.Request) {
-	rel := s.lookup(w, req)
-	if rel == nil {
+	rel, ok := s.lookup(w, req)
+	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	payload := &codec.Payload{Meta: rel.meta, Schema: rel.schema, Noisy: rel.noisy}
-	if err := codec.Encode(w, payload); err != nil {
+	if err := store.EncodeRelease(w, rel.Payload); err != nil {
 		// Headers are already sent; nothing sane to do but log-by-status.
 		httpError(w, http.StatusInternalServerError, err.Error())
 	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
 }
 
 // ParseQuery parses the q= syntax: comma-separated predicates of the

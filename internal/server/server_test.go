@@ -16,6 +16,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/hierarchy"
+	"repro/internal/store"
 )
 
 const testSchema = "Age:ordinal:8,Occ:nominal:3level:2x3"
@@ -25,7 +26,20 @@ const testCSV = "0,0\n1,1\n2,2\n3,3\n4,4\n5,5\n"
 
 func startServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(0).Handler())
+	ts := httptest.NewServer(New(Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// startSpillServer starts a server whose store keeps at most maxResident
+// releases in memory, spilling the rest to dir.
+func startSpillServer(t *testing.T, dir string, maxResident int) *httptest.Server {
+	t.Helper()
+	st, err := store.New(store.Config{Dir: dir, MaxResident: maxResident})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{Store: st}).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -280,7 +294,7 @@ func TestParseQuerySyntax(t *testing.T) {
 }
 
 func TestPublishBodyLimit(t *testing.T) {
-	ts := httptest.NewServer(New(64).Handler()) // 64-byte cap
+	ts := httptest.NewServer(New(Config{MaxBody: 64}).Handler()) // 64-byte cap
 	defer ts.Close()
 	big := strings.Repeat("1,1\n", 100)
 	resp, err := http.Post(ts.URL+"/publish?schema="+testSchema, "text/csv", strings.NewReader(big))
@@ -424,13 +438,12 @@ func TestConcurrentPublishes(t *testing.T) {
 }
 
 // TestParallelismCeiling: a client override may lower the worker count
-// but never exceed the operator's SetParallelism ceiling, and 0/-1 mean
+// but never exceed the operator's Config.Parallelism ceiling, and 0/-1 mean
 // "the ceiling" rather than "all cores". The effective count is echoed
 // as the summary's "workers" field, which is what makes the clamp
 // observable — release values are parallelism-independent by design.
 func TestParallelismCeiling(t *testing.T) {
-	srv := New(0)
-	srv.SetParallelism(1)
+	srv := New(Config{Parallelism: 1})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	var first summary
@@ -450,5 +463,141 @@ func TestParallelismCeiling(t *testing.T) {
 		if a, b := countQuery(t, ts, first.ID, "Age=0..5"), countQuery(t, ts, sum.ID, "Age=0..5"); a != b {
 			t.Errorf("parallelism=%s: count %v != %v", p, b, a)
 		}
+	}
+}
+
+// fetchStats reads the /stats endpoint.
+func fetchStats(t *testing.T, ts *httptest.Server) store.Stats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st store.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := startServer(t)
+	publish(t, ts, "schema="+testSchema+"&epsilon=1&seed=1", testCSV)
+	publish(t, ts, "schema="+testSchema+"&epsilon=1&seed=2", testCSV)
+	st := fetchStats(t, ts)
+	if st.Releases != 2 || st.Resident != 2 || st.Spilled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Evictions != 0 || st.Reloads != 0 {
+		t.Fatalf("unbounded store should never evict: %+v", st)
+	}
+	if st.Shards == 0 {
+		t.Fatalf("stats must report shard count: %+v", st)
+	}
+}
+
+// TestSpillReloadOverHTTP: with MaxResident 1 the first release is
+// evicted by the second publish, and querying it again — a transparent
+// reload from disk — returns the exact same float64 the resident release
+// produced. Eviction and reload counters surface on /stats.
+func TestSpillReloadOverHTTP(t *testing.T) {
+	ts := startSpillServer(t, t.TempDir(), 1)
+	a := publish(t, ts, "schema="+testSchema+"&epsilon=0.5&seed=11", testCSV)
+	probes := []string{"Age=0..2", "Occ=@g0", "Age=1..6,Occ=%232"}
+	before := make([]float64, len(probes))
+	for i, q := range probes {
+		before[i] = countQuery(t, ts, a.ID, q)
+	}
+
+	b := publish(t, ts, "schema="+testSchema+"&epsilon=0.5&seed=12", testCSV)
+	st := fetchStats(t, ts)
+	if st.Evictions == 0 || st.Resident != 1 || st.Spilled != 1 {
+		t.Fatalf("stats after second publish = %+v", st)
+	}
+
+	for i, q := range probes {
+		after := countQuery(t, ts, a.ID, q)
+		if after != before[i] {
+			t.Errorf("q=%q: post-reload count %v != pre-spill count %v", q, after, before[i])
+		}
+	}
+	if st := fetchStats(t, ts); st.Reloads == 0 {
+		t.Fatalf("stats after reload = %+v", st)
+	}
+	// The other release still answers too (reload ping-pong is fine).
+	countQuery(t, ts, b.ID, "Age=0..7")
+}
+
+// TestRestartRecoveryOverHTTP: a new server over the same store
+// directory serves the old releases and mints non-colliding IDs.
+func TestRestartRecoveryOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	ts1 := startSpillServer(t, dir, 0)
+	a := publish(t, ts1, "schema="+testSchema+"&epsilon=1000000000&seed=5", testCSV)
+	want := countQuery(t, ts1, a.ID, "Age=0..2")
+	ts1.Close()
+
+	ts2 := startSpillServer(t, dir, 0)
+	if got := countQuery(t, ts2, a.ID, "Age=0..2"); got != want {
+		t.Fatalf("recovered count %v != original %v", got, want)
+	}
+	fresh := publish(t, ts2, "schema="+testSchema+"&epsilon=1&seed=6", testCSV)
+	if fresh.ID == a.ID {
+		t.Fatalf("restarted server reused release ID %q", fresh.ID)
+	}
+	list := fetchList(t, ts2)
+	if len(list) != 2 {
+		t.Fatalf("recovered list has %d releases, want 2", len(list))
+	}
+}
+
+func fetchList(t *testing.T, ts *httptest.Server) []summary {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/releases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []summary
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	return list
+}
+
+// TestListDoesNotReload: listing and describing releases must serve from
+// the always-resident stubs, not drag spilled matrices back into memory.
+func TestListDoesNotReload(t *testing.T) {
+	ts := startSpillServer(t, t.TempDir(), 1)
+	a := publish(t, ts, "schema="+testSchema+"&epsilon=1&seed=21", testCSV)
+	publish(t, ts, "schema="+testSchema+"&epsilon=1&seed=22", testCSV)
+
+	list := fetchList(t, ts)
+	if len(list) != 2 {
+		t.Fatalf("list has %d releases", len(list))
+	}
+	resp, err := http.Get(ts.URL + "/releases/" + a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := fetchStats(t, ts)
+	if st.Reloads != 0 {
+		t.Fatalf("list/get triggered %d reloads, want 0", st.Reloads)
+	}
+	var spilled, resident int
+	for _, sum := range list {
+		if sum.Resident {
+			resident++
+		} else {
+			spilled++
+		}
+	}
+	if resident != 1 || spilled != 1 {
+		t.Fatalf("list resident/spilled = %d/%d, want 1/1", resident, spilled)
 	}
 }

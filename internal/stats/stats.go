@@ -1,6 +1,7 @@
 // Package stats provides the summary statistics and distributional tests
-// used across the experiment harness and the test suite: moments,
-// quantiles, empirical CDFs and a one-sample Kolmogorov–Smirnov test.
+// used across the experiment harness (the §VII evaluation, Figures 6-11)
+// and the test suite: moments, quantiles, empirical CDFs and a
+// one-sample Kolmogorov–Smirnov test.
 // Everything is plain stdlib math — no external scientific dependencies,
 // matching the repository's offline constraint.
 package stats

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/query"
+)
+
+// The benchmarks compare the sharded store against the single-RWMutex
+// map internal/server used before the store existed, under the serving
+// pattern the ROADMAP targets: 8 tenants, each querying its own release
+// with an occasional publish mixed in. Under one global mutex every
+// publish blocks every tenant's queries; under lock striping it blocks
+// only the ~1/shards of traffic that hashes to the same stripe. Run with
+// -cpu 8 (or on a multi-core box) to see the contention gap; on one core
+// the benchmark degenerates to lock overhead only.
+
+// releaseStore is the narrow interface both implementations serve.
+type releaseStore interface {
+	Put(id string, p *codec.Payload, workers int) error
+	Get(id string) (Release, error)
+}
+
+// mutexStore is the pre-store design: one map, one RWMutex.
+type mutexStore struct {
+	mu sync.RWMutex
+	m  map[string]*Release
+}
+
+func newMutexStore() *mutexStore { return &mutexStore{m: make(map[string]*Release)} }
+
+func (s *mutexStore) Put(id string, p *codec.Payload, workers int) error {
+	rel := &Release{ID: id, Payload: p, Eval: query.NewEvaluator(p.Noisy), Workers: workers}
+	s.mu.Lock()
+	s.m[id] = rel
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *mutexStore) Get(id string) (Release, error) {
+	s.mu.RLock()
+	rel := s.m[id]
+	s.mu.RUnlock()
+	if rel == nil {
+		return Release{}, ErrNotFound
+	}
+	return *rel, nil
+}
+
+const benchTenants = 8
+
+// seedTenants publishes one release per tenant and returns the probe
+// query used by the read path.
+func seedTenants(b *testing.B, s releaseStore) query.Query {
+	b.Helper()
+	var q query.Query
+	for tenant := 0; tenant < benchTenants; tenant++ {
+		p := testPayload(b, uint64(tenant))
+		if err := s.Put(fmt.Sprintf("tenant%d", tenant), p, 1); err != nil {
+			b.Fatal(err)
+		}
+		if tenant == 0 {
+			q = probeQueries(b, p.Schema)[1]
+		}
+	}
+	return q
+}
+
+// benchQueries: pure read traffic, each goroutine pinned to one tenant.
+func benchQueries(b *testing.B, s releaseStore) {
+	q := seedTenants(b, s)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tenant := int(next.Add(1)-1) % benchTenants
+		id := fmt.Sprintf("tenant%d", tenant)
+		for pb.Next() {
+			rel, err := s.Get(id)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := rel.Eval.Count(q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// benchMixed: 1 publish per 64 queries — the write rate at which a
+// global mutex starts stalling unrelated tenants.
+func benchMixed(b *testing.B, s releaseStore) {
+	q := seedTenants(b, s)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tenant := int(next.Add(1)-1) % benchTenants
+		id := fmt.Sprintf("tenant%d", tenant)
+		seq := 0
+		for pb.Next() {
+			seq++
+			if seq%64 == 0 {
+				fresh := fmt.Sprintf("tenant%d-v%d-%d", tenant, seq, next.Add(1))
+				if err := s.Put(fresh, testPayload(b, uint64(seq)), 1); err != nil {
+					b.Error(err)
+					return
+				}
+				continue
+			}
+			rel, err := s.Get(id)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := rel.Eval.Count(q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func newShardedForBench(b *testing.B) *Store {
+	b.Helper()
+	s, err := New(Config{Shards: DefaultShards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkQueries8TenantsSharded(b *testing.B) { benchQueries(b, newShardedForBench(b)) }
+
+func BenchmarkQueries8TenantsSingleMutex(b *testing.B) { benchQueries(b, newMutexStore()) }
+
+func BenchmarkMixed8TenantsSharded(b *testing.B) { benchMixed(b, newShardedForBench(b)) }
+
+func BenchmarkMixed8TenantsSingleMutex(b *testing.B) { benchMixed(b, newMutexStore()) }

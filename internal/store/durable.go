@@ -1,0 +1,26 @@
+package store
+
+import (
+	"io"
+
+	"repro/internal/codec"
+)
+
+// EncodeRelease and DecodeRelease are the single durability path every
+// release artifact in the system goes through: the store's spill files,
+// the library's Release.Save/Load, and the daemon's /export endpoint all
+// call these, so the on-disk format (internal/codec's versioned binary
+// encoding) is negotiated in exactly one place. A release written by any
+// producer is readable by every consumer.
+
+// EncodeRelease writes a release payload to w in the shared durable
+// format.
+func EncodeRelease(w io.Writer, p *codec.Payload) error {
+	return codec.Encode(w, p)
+}
+
+// DecodeRelease reads a release payload previously written by
+// EncodeRelease (or any other producer of the shared format).
+func DecodeRelease(r io.Reader) (*codec.Payload, error) {
+	return codec.Decode(r)
+}

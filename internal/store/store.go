@@ -1,0 +1,562 @@
+// Package store is the sharded, spillable release store behind the
+// serving layer. The paper (§I, §III) frames a Privelet release as a
+// publish-once artifact: the noisy frequency matrix M* is computed one
+// time, spending the ε budget, and then answers arbitrarily many
+// range-count queries forever after. Serving that model under heavy
+// multi-tenant traffic needs two properties a single map under one
+// RWMutex cannot give:
+//
+//   - Publishes must not serialize against queries of unrelated
+//     releases. The store therefore stripes releases across N shards
+//     keyed by FNV-1a(releaseID) mod N, each with its own RWMutex, so a
+//     publish for tenant A contends only with the 1/N of traffic that
+//     hashes to A's shard.
+//   - Memory must not grow without bound as tenants accumulate
+//     releases. With a spill directory configured, every release is
+//     written through to disk at Put time in the internal/codec format
+//     (the same bytes Release.Save and the /export endpoint emit), and
+//     when more than MaxResident releases are in memory the
+//     least-recently-used ones drop their in-memory matrix and
+//     evaluator. A later Get transparently reloads from disk and
+//     rebuilds the evaluator; decode is bit-exact and the prefix-sum
+//     build is deterministic, so a reloaded release answers every query
+//     bit-identically to the original (store tests assert this).
+//
+// Because spill files are written through at Put time, the directory
+// doubles as durable storage: a new Store opened on the same directory
+// recovers every previously-published release — warm up to the
+// MaxResident budget, cold beyond it — and serves them after a daemon
+// restart.
+//
+// A small Stub per release — accounting metadata, attribute names,
+// entry count — always stays resident, so listing and describing
+// releases never touches disk.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
+	"repro/internal/query"
+)
+
+// DefaultShards is the shard count used when Config.Shards is not set.
+// Sixteen stripes is plenty for the tenant counts a single daemon sees;
+// the marginal cost of an idle shard is one mutex and one empty map.
+const DefaultShards = 16
+
+// spillExt is the filename extension of spill files; the payload bytes
+// are exactly what cmd/privelet and the /export endpoint produce, so a
+// spill file is itself a valid release artifact.
+const spillExt = ".prvl"
+
+// ErrNotFound is returned (wrapped) by Get and Describe when no release
+// has the given ID. Callers should test with errors.Is.
+var ErrNotFound = errors.New("store: release not found")
+
+// Config configures a Store.
+type Config struct {
+	// Shards is the number of lock stripes; ≤ 0 means DefaultShards.
+	Shards int
+	// MaxResident bounds how many releases keep their matrix and
+	// evaluator in memory; 0 means unlimited. A positive value requires
+	// Dir, since eviction without a spill path would lose data.
+	MaxResident int
+	// Dir, when non-empty, is the spill/durability directory. Every Put
+	// writes the release through to Dir, evicted releases reload from
+	// it, and New recovers the releases already present in it.
+	Dir string
+}
+
+// Release is the resident view of a stored release, as returned by Get
+// (by value, so the resident fast path never heap-allocates). The
+// pointers remain valid (and immutable) even if the store evicts the
+// release afterwards; eviction only drops the store's own references.
+type Release struct {
+	// ID is the store-wide release identifier.
+	ID string
+	// Payload carries the schema, noisy matrix and privacy accounting.
+	Payload *codec.Payload
+	// Eval answers range-count queries from the precomputed prefix-sum
+	// table of the noisy matrix.
+	Eval *query.Evaluator
+	// Workers is the publish-time parallelism — operational metadata
+	// only (it never affects release values) and not persisted: after a
+	// restart recovers a release from disk it reads 0.
+	Workers int
+}
+
+// Stub is the always-resident summary of a release; List and Describe
+// return it without touching disk even for spilled releases.
+type Stub struct {
+	// ID is the store-wide release identifier.
+	ID string
+	// Meta is the privacy accounting carried alongside the release.
+	Meta codec.Meta
+	// Attrs lists the schema's attribute names in order.
+	Attrs []string
+	// Entries is the number of frequency-matrix entries.
+	Entries int
+	// Workers is the publish-time parallelism (see Release.Workers).
+	Workers int
+	// Resident reports whether the release currently holds its matrix
+	// and evaluator in memory.
+	Resident bool
+}
+
+// Stats is a snapshot of the store's accounting, surfaced by the
+// daemon's /stats endpoint.
+type Stats struct {
+	Shards      int   `json:"shards"`
+	MaxResident int   `json:"max_resident"`
+	Releases    int   `json:"releases"`
+	Resident    int   `json:"resident"`
+	Spilled     int   `json:"spilled"`
+	Evictions   int64 `json:"evictions"`
+	Reloads     int64 `json:"reloads"`
+}
+
+// Store is a sharded release store. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Store struct {
+	cfg    Config
+	shards []shard
+
+	// clock is a global logical clock; entries stamp themselves with it
+	// on every access, giving the LRU order without taking write locks
+	// on the read path.
+	clock atomic.Int64
+	// resident counts releases currently holding payload + evaluator.
+	resident  atomic.Int64
+	evictions atomic.Int64
+	reloads   atomic.Int64
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// entry is one stored release. stub/workers are immutable after insert;
+// payload, eval and spilled are guarded by the owning shard's mutex;
+// payload/eval are nil while the release is not resident.
+type entry struct {
+	id       string
+	stub     Stub
+	lastUsed atomic.Int64
+	// loadMu serializes reloads so a hot spilled release is decoded
+	// once, not once per waiting goroutine.
+	loadMu sync.Mutex
+
+	payload *codec.Payload
+	eval    *query.Evaluator
+	// spilled records that the release's disk copy exists; eviction
+	// must never drop an entry before its spill file is durable.
+	spilled bool
+}
+
+// New builds a store. With cfg.Dir set it creates the directory if
+// needed and recovers every readable *.prvl release already in it (see
+// recover for the warm-up and corrupt-file policy).
+func New(cfg Config) (*Store, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.MaxResident > 0 && cfg.Dir == "" {
+		return nil, fmt.Errorf("store: MaxResident %d requires a spill Dir", cfg.MaxResident)
+	}
+	s := &Store{cfg: cfg, shards: make([]shard, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]*entry)
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", cfg.Dir, err)
+		}
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recover registers every spill file in cfg.Dir as an entry. Each file
+// must be decoded once to build its always-resident Stub; rather than
+// throw that work away, the decoded payload is kept resident while the
+// MaxResident budget has room (for an unbounded store the payloads are
+// dropped, so opening a large archive does not load it all into
+// memory). An unreadable file is skipped with a warning — one corrupt
+// release must not take down serving for every healthy one.
+func (s *Store) recover() error {
+	dirents, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", s.cfg.Dir, err)
+	}
+	for _, d := range dirents {
+		name := d.Name()
+		if d.IsDir() {
+			continue
+		}
+		// A crash mid-writeSpill can strand a temp file; sweep it now —
+		// recovery runs before the store serves, so nothing is writing.
+		if strings.HasSuffix(name, spillExt+".tmp") {
+			os.Remove(filepath.Join(s.cfg.Dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, spillExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, spillExt)
+		if validateID(id) != nil {
+			continue // not one of ours
+		}
+		p, err := s.readSpill(id)
+		if err != nil {
+			log.Printf("store: skipping unreadable spill file %s: %v", name, err)
+			continue
+		}
+		e := &entry{id: id, stub: makeStub(id, p, 0), spilled: true}
+		if s.cfg.MaxResident > 0 && s.resident.Load() < int64(s.cfg.MaxResident) {
+			e.payload = p
+			e.eval = query.NewEvaluator(p.Noisy)
+			e.touch(s)
+			s.resident.Add(1)
+		}
+		sh := s.shard(id)
+		sh.mu.Lock()
+		sh.entries[id] = e
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Put stores a release under id, which must be unique for the lifetime
+// of the store's directory. Reusing an ID is a caller bug and is
+// rejected — atomically, so racing duplicate Puts cannot clobber each
+// other's spill file: the ID's map slot is claimed under the shard lock
+// before any file I/O, and only the claimant writes the file. With a
+// spill directory configured, Put does not return success until the
+// release's disk copy is durable, and eviction skips entries whose
+// write-through has not finished yet, so a spilled release always has a
+// file to reload from. If the write-through fails, the release is
+// withdrawn and the error returned (a concurrent Get in that window may
+// have answered from the in-memory copy, as if the release had existed
+// briefly).
+func (s *Store) Put(id string, p *codec.Payload, workers int) error {
+	if err := validateID(id); err != nil {
+		return err
+	}
+	if p == nil || p.Schema == nil || p.Noisy == nil {
+		return fmt.Errorf("store: nil payload components for %q", id)
+	}
+	e := &entry{
+		id:      id,
+		stub:    makeStub(id, p, workers),
+		payload: p,
+		eval:    query.NewEvaluator(p.Noisy),
+	}
+	e.touch(s)
+	sh := s.shard(id)
+	sh.mu.Lock()
+	if _, dup := sh.entries[id]; dup {
+		sh.mu.Unlock()
+		return fmt.Errorf("store: duplicate release %q", id)
+	}
+	sh.entries[id] = e
+	sh.mu.Unlock()
+	s.resident.Add(1)
+	if s.cfg.Dir != "" {
+		if err := s.writeSpill(id, p); err != nil {
+			sh.mu.Lock()
+			delete(sh.entries, id)
+			sh.mu.Unlock()
+			s.resident.Add(-1)
+			return err
+		}
+		sh.mu.Lock()
+		e.spilled = true
+		sh.mu.Unlock()
+	}
+	s.enforceBudget()
+	return nil
+}
+
+// Get returns the release under id, transparently reloading it from the
+// spill directory (and rebuilding its evaluator) if it was evicted.
+// Returns an error wrapping ErrNotFound for unknown IDs. The Release is
+// returned by value so the resident fast path stays allocation-free.
+func (s *Store) Get(id string) (Release, error) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	e := sh.entries[id]
+	var rel Release
+	if e != nil && e.payload != nil {
+		rel = Release{ID: id, Payload: e.payload, Eval: e.eval, Workers: e.stub.Workers}
+	}
+	sh.mu.RUnlock()
+	if e == nil {
+		return Release{}, fmt.Errorf("store: %q: %w", id, ErrNotFound)
+	}
+	if rel.Payload != nil {
+		e.touch(s)
+		return rel, nil
+	}
+	return s.reload(sh, e)
+}
+
+// Describe returns the release's always-resident summary without
+// loading a spilled release.
+func (s *Store) Describe(id string) (Stub, error) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.entries[id]
+	if e == nil {
+		return Stub{}, fmt.Errorf("store: %q: %w", id, ErrNotFound)
+	}
+	st := e.stub
+	st.Resident = e.payload != nil
+	return st, nil
+}
+
+// List returns every release's summary, sorted by ID (shortest first,
+// then lexicographic, so r2 sorts before r10). It never touches disk.
+func (s *Store) List() []Stub {
+	var out []Stub
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			st := e.stub
+			st.Resident = e.payload != nil
+			out = append(out, st)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// Len returns the number of stored releases, resident or spilled.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats returns a consistent-enough snapshot of the store's accounting.
+func (s *Store) Stats() Stats {
+	total := s.Len()
+	res := int(s.resident.Load())
+	return Stats{
+		Shards:      len(s.shards),
+		MaxResident: s.cfg.MaxResident,
+		Releases:    total,
+		Resident:    res,
+		Spilled:     total - res,
+		Evictions:   s.evictions.Load(),
+		Reloads:     s.reloads.Load(),
+	}
+}
+
+// reload brings a spilled entry back into memory. loadMu makes
+// concurrent Gets of the same release decode its file once.
+func (s *Store) reload(sh *shard, e *entry) (Release, error) {
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	// Another goroutine may have finished the reload while we waited.
+	sh.mu.RLock()
+	if e.payload != nil {
+		rel := Release{ID: e.id, Payload: e.payload, Eval: e.eval, Workers: e.stub.Workers}
+		sh.mu.RUnlock()
+		e.touch(s)
+		return rel, nil
+	}
+	sh.mu.RUnlock()
+	p, err := s.readSpill(e.id)
+	if err != nil {
+		return Release{}, fmt.Errorf("store: reloading %q: %w", e.id, err)
+	}
+	eval := query.NewEvaluator(p.Noisy)
+	sh.mu.Lock()
+	e.payload, e.eval = p, eval
+	sh.mu.Unlock()
+	e.touch(s)
+	s.resident.Add(1)
+	s.reloads.Add(1)
+	s.enforceBudget()
+	return Release{ID: e.id, Payload: p, Eval: eval, Workers: e.stub.Workers}, nil
+}
+
+// enforceBudget evicts least-recently-used releases until the resident
+// count is back under MaxResident.
+func (s *Store) enforceBudget() {
+	if s.cfg.MaxResident <= 0 {
+		return
+	}
+	for s.resident.Load() > int64(s.cfg.MaxResident) {
+		if !s.evictOne() {
+			return
+		}
+	}
+}
+
+// evictOne drops the in-memory copy of the globally least-recently-used
+// resident release. The scan takes one shard lock at a time (never two),
+// so it cannot deadlock with any other store operation; the price is
+// that under concurrent access the victim is approximately, not exactly,
+// the LRU — an entry touched between the scan and the final lock may
+// still be evicted, which costs one extra reload but is never incorrect
+// (eviction only drops references; callers holding a *Release keep it).
+// Returns false when no resident entry exists to evict.
+func (s *Store) evictOne() bool {
+	var victim *entry
+	var victimShard *shard
+	best := int64(math.MaxInt64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			// Only entries with a durable disk copy are evictable.
+			if e.payload == nil || !e.spilled {
+				continue
+			}
+			if t := e.lastUsed.Load(); t < best {
+				best, victim, victimShard = t, e, sh
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if victim == nil {
+		return false
+	}
+	victimShard.mu.Lock()
+	if victim.payload == nil || !victim.spilled {
+		// Lost a race with another evictor, which already adjusted the
+		// accounting; report progress so the budget loop re-checks.
+		victimShard.mu.Unlock()
+		return true
+	}
+	victim.payload, victim.eval = nil, nil
+	victimShard.mu.Unlock()
+	s.resident.Add(-1)
+	s.evictions.Add(1)
+	return true
+}
+
+// shard picks the lock stripe for id by FNV-1a, inlined so the hot Get
+// path does not allocate a hash.Hash32 per request.
+func (s *Store) shard(id string) *shard {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return &s.shards[h%uint32(len(s.shards))]
+}
+
+// touch stamps the entry with the global LRU clock. With eviction
+// disabled (MaxResident ≤ 0) the stamps would never be read, so the
+// read path skips the shared atomic entirely — otherwise every Get
+// across every shard would bounce one cache line, undoing part of the
+// lock striping.
+func (e *entry) touch(s *Store) {
+	if s.cfg.MaxResident <= 0 {
+		return
+	}
+	e.lastUsed.Store(s.clock.Add(1))
+}
+
+func makeStub(id string, p *codec.Payload, workers int) Stub {
+	attrs := make([]string, p.Schema.NumAttrs())
+	for i := range attrs {
+		attrs[i] = p.Schema.Attr(i).Name
+	}
+	return Stub{
+		ID:      id,
+		Meta:    p.Meta,
+		Attrs:   attrs,
+		Entries: p.Noisy.Len(),
+		Workers: workers,
+	}
+}
+
+// validateID keeps IDs safe to embed in spill filenames: non-empty,
+// ≤ 128 bytes, alphanumerics plus '.', '_', '-', not starting with '.'.
+func validateID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("store: invalid release id %q", id)
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("store: invalid release id %q", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("store: invalid release id %q", id)
+		}
+	}
+	return nil
+}
+
+func (s *Store) spillPath(id string) string {
+	return filepath.Join(s.cfg.Dir, id+spillExt)
+}
+
+// writeSpill atomically writes the release's spill file: encode to a
+// temp file, then rename, so readers never observe a partial payload.
+func (s *Store) writeSpill(id string, p *codec.Payload) error {
+	path := s.spillPath(id)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: spilling %q: %w", id, err)
+	}
+	if err := EncodeRelease(f, p); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: spilling %q: %w", id, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: spilling %q: %w", id, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: spilling %q: %w", id, err)
+	}
+	return nil
+}
+
+func (s *Store) readSpill(id string) (*codec.Payload, error) {
+	f, err := os.Open(s.spillPath(id))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeRelease(f)
+}

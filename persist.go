@@ -5,15 +5,19 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 // Save serializes the release (schema, hierarchies, noisy matrix and
-// privacy accounting) to w in the versioned binary format of
-// internal/codec. A saved release can be shipped to analysts and loaded
-// elsewhere — no further privacy cost, since only the released data is
-// stored.
+// privacy accounting) to w. A saved release can be shipped to analysts
+// and loaded elsewhere — no further privacy cost, since only the
+// released data is stored.
+//
+// The bytes go through store.EncodeRelease, the same durability path the
+// priveletd daemon uses for its spill files and /export endpoint, so a
+// file written by any of them loads with any of the others.
 func (r *Release) Save(w io.Writer) error {
-	return codec.Encode(w, &codec.Payload{
+	return store.EncodeRelease(w, &codec.Payload{
 		Meta: codec.Meta{
 			Mechanism: r.machine,
 			Epsilon:   r.eps,
@@ -26,10 +30,11 @@ func (r *Release) Save(w io.Writer) error {
 	})
 }
 
-// Load reads a release previously written by Save (or downloaded from a
-// priveletd /export endpoint).
+// Load reads a release previously written by Save, downloaded from a
+// priveletd /export endpoint, or taken straight from a daemon's
+// -store-dir spill directory — all three share one format.
 func Load(rd io.Reader) (*Release, error) {
-	p, err := codec.Decode(rd)
+	p, err := store.DecodeRelease(rd)
 	if err != nil {
 		return nil, err
 	}

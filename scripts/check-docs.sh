@@ -1,0 +1,30 @@
+#!/bin/sh
+# check-docs.sh — fail if any internal/ package (or the root package)
+# lacks a package comment. Used by CI; run locally as scripts/check-docs.sh.
+#
+# `go doc <pkg>` prints the package clause, a blank line, then the package
+# comment (which gofmt guarantees starts with "Package <name>"). If the
+# third line is missing or does not start with "Package ", there is no
+# package comment.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in . internal/*/; do
+    pkg="repro/${dir#./}"
+    pkg="${pkg%/}"
+    pkg="${pkg%/.}"
+    third=$(go doc "$pkg" 2>/dev/null | sed -n '3p') || third=""
+    case "$third" in
+        "Package "*) ;;
+        *)
+            echo "missing package comment: $pkg" >&2
+            fail=1
+            ;;
+    esac
+done
+if [ "$fail" -ne 0 ]; then
+    echo "docs check failed: every package needs a package comment (see ISSUE 2 godoc audit)" >&2
+    exit 1
+fi
+echo "docs check: all packages have package comments"
