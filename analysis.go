@@ -1,6 +1,8 @@
 package privelet
 
 import (
+	"context"
+
 	"repro/internal/marginal"
 	"repro/internal/query"
 	"repro/internal/variance"
@@ -37,7 +39,13 @@ type MarginalOptions = marginal.Options
 // PublishMarginals releases one noisy marginal per attribute list under a
 // TOTAL budget of opts.Epsilon (split evenly; sequential composition).
 func PublishMarginals(t *Table, sets [][]string, opts MarginalOptions) ([]*Marginal, error) {
-	return marginal.PublishSet(t, sets, opts)
+	return marginal.PublishSet(context.Background(), t, sets, opts)
+}
+
+// PublishMarginalsContext is PublishMarginals under a context: a
+// cancelled ctx aborts the remaining marginals of the set.
+func PublishMarginalsContext(ctx context.Context, t *Table, sets [][]string, opts MarginalOptions) ([]*Marginal, error) {
+	return marginal.PublishSet(ctx, t, sets, opts)
 }
 
 // NewQueryBuilder starts a range-count query against an arbitrary schema

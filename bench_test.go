@@ -6,6 +6,7 @@
 package privelet_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -161,7 +162,7 @@ func BenchmarkAblationNominalVsHaar(b *testing.B) {
 				b.Fatal(err)
 			}
 			hwtSq += hv * hv
-			nres, err := core.PublishMatrix(m, s, core.Options{Epsilon: 1.0, Seed: seed})
+			nres, err := core.PublishMatrix(context.Background(), m, s, core.Options{Epsilon: 1.0, Seed: seed})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -196,7 +197,7 @@ func BenchmarkAblationSmallDomain(b *testing.B) {
 		var basicSq, privSq float64
 		for t := 0; t < trials; t++ {
 			seed := uint64(i*trials + t)
-			bres, err := baseline.Basic(m, 1.0, seed)
+			bres, err := baseline.Basic(context.Background(), m, 1.0, seed)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -205,7 +206,7 @@ func BenchmarkAblationSmallDomain(b *testing.B) {
 				b.Fatal(err)
 			}
 			basicSq += bv * bv
-			pres, err := core.PublishMatrix(m, s, core.Options{Epsilon: 1.0, Seed: seed})
+			pres, err := core.PublishMatrix(context.Background(), m, s, core.Options{Epsilon: 1.0, Seed: seed})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -298,7 +299,7 @@ func BenchmarkAblationSASweep(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			var bound float64
 			for i := 0; i < b.N; i++ {
-				res, err := core.PublishMatrix(m, tbl.Schema(), core.Options{Epsilon: 1, SA: c.sa, Seed: uint64(i)})
+				res, err := core.PublishMatrix(context.Background(), m, tbl.Schema(), core.Options{Epsilon: 1, SA: c.sa, Seed: uint64(i)})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -346,7 +347,7 @@ func BenchmarkExtensionHay1D(b *testing.B) {
 				hv += hres[j]
 			}
 			haySq += (hv - act) * (hv - act)
-			pres, err := core.PublishMatrix(m, s, core.Options{Epsilon: 1.0, Seed: seed})
+			pres, err := core.PublishMatrix(context.Background(), m, s, core.Options{Epsilon: 1.0, Seed: seed})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -446,7 +447,7 @@ func BenchmarkPublishCensusSmall(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.PublishMatrix(m, tbl.Schema(), core.Options{
+		if _, err := core.PublishMatrix(context.Background(), m, tbl.Schema(), core.Options{
 			Epsilon: 1, SA: []string{"Age", "Gender"}, Seed: uint64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -488,7 +489,7 @@ func BenchmarkPublishEngine(b *testing.B) {
 		for _, w := range workerCounts {
 			b.Run(fmt.Sprintf("%s/workers=%d", reg.name, w), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := core.PublishMatrix(m, schema, core.Options{
+					if _, err := core.PublishMatrix(context.Background(), m, schema, core.Options{
 						Epsilon: 1, SA: reg.sa, Seed: uint64(i), Parallelism: w,
 					}); err != nil {
 						b.Fatal(err)
@@ -509,14 +510,14 @@ func BenchmarkPublishSpeedup(b *testing.B) {
 	var serial, par4 time.Duration
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		if _, err := core.PublishMatrix(m, schema, core.Options{
+		if _, err := core.PublishMatrix(context.Background(), m, schema, core.Options{
 			Epsilon: 1, SA: sa, Seed: uint64(i), Parallelism: 1,
 		}); err != nil {
 			b.Fatal(err)
 		}
 		serial += time.Since(start)
 		start = time.Now()
-		if _, err := core.PublishMatrix(m, schema, core.Options{
+		if _, err := core.PublishMatrix(context.Background(), m, schema, core.Options{
 			Epsilon: 1, SA: sa, Seed: uint64(i), Parallelism: 4,
 		}); err != nil {
 			b.Fatal(err)
@@ -540,7 +541,7 @@ func BenchmarkBasicPublishCensusSmall(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := baseline.Basic(m, 1, uint64(i)); err != nil {
+		if _, err := baseline.Basic(context.Background(), m, 1, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

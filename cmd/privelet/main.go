@@ -14,16 +14,26 @@
 //	privelet -schema "Age:ordinal:101,Gender:nominal:flat:2" \
 //	         -epsilon 1.0 -sa Gender -in data.csv -out noisy.csv
 //
+// The publishing mechanism is selected by name from the privelet
+// registry (-mechanism privelet+|privelet|basic|hay; hay requires a
+// one-attribute schema). Rows are streamed from the CSV straight into
+// the frequency matrix, so the input may hold far more rows than fit in
+// memory.
+//
 // The output CSV has one row per frequency-matrix entry with the entry's
-// coordinates followed by its noisy count.
+// coordinates followed by its noisy count. -save additionally writes the
+// release in the binary codec format that priveletd's /export endpoint,
+// its spill files, and privelet.Load all share.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	privelet "repro"
 	"repro/internal/cli"
@@ -33,13 +43,16 @@ func main() {
 	var (
 		schemaSpec = flag.String("schema", "", "comma-separated attribute clauses (see package doc)")
 		epsilon    = flag.Float64("epsilon", 1.0, "privacy budget ε")
-		saFlag     = flag.String("sa", "", "comma-separated SA attribute names (Privelet+); 'auto' applies Corollary 1")
+		saFlag     = flag.String("sa", "", "comma-separated SA attribute names (privelet+ only); 'auto' applies Corollary 1")
 		seed       = flag.Uint64("seed", 1, "noise seed (deterministic releases)")
 		inPath     = flag.String("in", "", "input CSV (default stdin)")
 		outPath    = flag.String("out", "", "output CSV (default stdout)")
+		savePath   = flag.String("save", "", "also save the release in codec format (loadable with privelet.Load)")
 		sanitize   = flag.Bool("sanitize", false, "round the release to non-negative integers")
-		basic      = flag.Bool("basic", false, "use Dwork et al.'s Basic mechanism instead")
-		workers    = flag.Int("parallelism", 0, "publish worker goroutines (0 = all cores); never changes the release")
+		mechName   = flag.String("mechanism", "privelet+",
+			fmt.Sprintf("publishing mechanism, one of %s", strings.Join(privelet.Mechanisms(), "|")))
+		basic   = flag.Bool("basic", false, "deprecated: alias for -mechanism basic")
+		workers = flag.Int("parallelism", 0, "publish worker goroutines (0 = all cores); never changes the release")
 	)
 	flag.Parse()
 
@@ -47,6 +60,21 @@ func main() {
 		fatal(fmt.Errorf("-schema is required"))
 	}
 	schema, err := cli.ParseSchema(*schemaSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *basic {
+		*mechName = "basic"
+		// The old -basic flag never read -sa; keep ignoring it (with a
+		// note) rather than letting the mechanism reject it.
+		if *saFlag != "" {
+			fmt.Fprintln(os.Stderr, "privelet: -basic ignores -sa (deprecated flag compatibility)")
+			*saFlag = ""
+		}
+	}
+	// Resolve the mechanism before ingest: with streaming input the CSV
+	// pass is the dominant cost, and a typo'd name must not waste it.
+	mech, err := privelet.MechanismByName(*mechName)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,31 +88,53 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	table, err := cli.ReadTable(schema, in)
-	if err != nil {
+
+	sa := cli.SplitNonEmpty(*saFlag)
+	if len(sa) == 1 && sa[0] == "auto" {
+		sa, err = privelet.RecommendSA(schema)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "privelet: auto SA = %v\n", sa)
+	}
+
+	// Reject parameter/mechanism mismatches (SA on a transform-free
+	// mechanism, hay on a multi-attribute schema, bad ε) before ingest
+	// too — same rationale as the name check above.
+	params := privelet.Params{
+		Epsilon: *epsilon, SA: sa, Seed: *seed, Sanitize: *sanitize, Parallelism: *workers,
+	}
+	if err := privelet.ValidateParams(mech, schema, params); err != nil {
 		fatal(err)
 	}
 
-	var rel *privelet.Release
-	if *basic {
-		rel, err = privelet.PublishBasic(table, *epsilon, *seed)
-	} else {
-		sa := cli.SplitNonEmpty(*saFlag)
-		if len(sa) == 1 && sa[0] == "auto" {
-			sa, err = privelet.RecommendSA(schema)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "privelet: auto SA = %v\n", sa)
-		}
-		rel, err = privelet.Publish(table, privelet.Options{
-			Epsilon: *epsilon, SA: sa, Seed: *seed, Sanitize: *sanitize, Parallelism: *workers,
-		})
-	}
+	// Stream rows into the frequency matrix: the table itself is never
+	// buffered, so memory stays O(domain) however large the CSV is.
+	pub, err := privelet.NewPublisher(schema)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "privelet: %s (n=%d)\n", rel, table.Len())
+	if err := cli.ReadRows(schema, in, pub.Add); err != nil {
+		fatal(err)
+	}
+	rel, err := pub.Publish(context.Background(), *mechName, params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "privelet: %s (n=%d)\n", rel, pub.Rows())
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rel.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {

@@ -2,12 +2,16 @@
 //
 //	priveletd -addr :8080 -store-dir /var/lib/privelet -max-resident 64
 //
-//	# publish a table (budget is spent here, once)
+//	# publish a table (budget is spent here, once); pick any registered
+//	# mechanism by name — privelet+, privelet, basic, hay
 //	curl -X POST --data-binary @data.csv \
-//	  'localhost:8080/publish?schema=Age:ordinal:64,Gender:nominal:flat:2&epsilon=1&sa=Gender&seed=7'
+//	  'localhost:8080/publish?schema=Age:ordinal:64,Gender:nominal:flat:2&epsilon=1&sa=Gender&seed=7&mechanism=privelet%2B'
 //
 //	# query it as often as you like
 //	curl 'localhost:8080/releases/r1/count?q=Age=30..49'
+//
+//	# withdraw a release and reclaim its disk space
+//	curl -X DELETE 'localhost:8080/releases/r1'
 //
 //	# download the release for offline use (cmd/privelet-compatible codec)
 //	curl -o release.prvl 'localhost:8080/releases/r1/export'
@@ -28,23 +32,30 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
+	privelet "repro"
 	"repro/internal/server"
 	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		maxBody     = flag.Int64("max-body", 64<<20, "maximum upload size in bytes")
-		workers     = flag.Int("parallelism", 0, "default worker goroutines per publish (0 = all cores); lower it when serving many concurrent publishers")
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxBody  = flag.Int64("max-body", 64<<20, "maximum upload size in bytes")
+		workers  = flag.Int("parallelism", 0, "default worker goroutines per publish (0 = all cores); lower it when serving many concurrent publishers")
+		mechName = flag.String("mechanism", "privelet+",
+			fmt.Sprintf("default publish mechanism when a request omits ?mechanism=, one of %s", strings.Join(privelet.Mechanisms(), "|")))
 		storeDir    = flag.String("store-dir", "", "directory for durable release storage; releases already there are served after a restart (empty = memory only)")
 		maxResident = flag.Int("max-resident", 0, "max releases kept in memory; colder ones spill to -store-dir and reload on access (0 = unlimited)")
 		shards      = flag.Int("shards", 0, fmt.Sprintf("release-store lock stripes (0 = default %d)", store.DefaultShards))
 	)
 	flag.Parse()
 
+	if _, err := privelet.MechanismByName(*mechName); err != nil {
+		log.Fatal(err)
+	}
 	st, err := store.New(store.Config{Dir: *storeDir, MaxResident: *maxResident, Shards: *shards})
 	if err != nil {
 		log.Fatal(err)
@@ -52,7 +63,8 @@ func main() {
 	if n := st.Len(); n > 0 {
 		fmt.Printf("priveletd recovered %d release(s) from %s\n", n, *storeDir)
 	}
-	srv := server.New(server.Config{MaxBody: *maxBody, Parallelism: *workers, Store: st})
+	srv := server.New(server.Config{MaxBody: *maxBody, Parallelism: *workers, DefaultMechanism: *mechName, Store: st})
+	fmt.Printf("priveletd mechanisms: %s (default %s)\n", strings.Join(privelet.Mechanisms(), ", "), *mechName)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -18,10 +18,10 @@
 //		privelet.OrdinalAttr("Age", 101),
 //		privelet.NominalAttr("Gender", gender),
 //	)
-//	table := privelet.NewTable(schema)
-//	// ... table.Append(age, gender) for each record ...
+//	pub, _ := privelet.NewPublisher(schema)
+//	// ... pub.Add(age, gender) for each record, straight off the wire ...
 //
-//	rel, _ := privelet.Publish(table, privelet.Options{
+//	rel, _ := pub.Publish(ctx, "privelet+", privelet.Params{
 //		Epsilon: 1.0,
 //		SA:      []string{"Gender"}, // small domains skip the transform
 //		Seed:    42,
@@ -30,31 +30,73 @@
 //	count, _ := rel.Count(q)
 //
 // The released matrix answers arbitrarily many queries at no further
-// privacy cost; the ε budget is spent once, at Publish time.
+// privacy cost; the ε budget is spent once, at publish time.
 //
-// # Mechanism selection
+// # Mechanisms
 //
-// Options.SA lists attributes excluded from the wavelet transform
-// (Privelet+, §VI-D of the paper): for an attribute with |A| ≤ P(A)²·H(A)
-// plain per-entry noise is cheaper than transform-domain noise.
-// RecommendSA applies that rule. SA = nil is plain Privelet; listing every
-// attribute recovers the Basic mechanism exactly (PublishBasic is a
-// convenience for that).
+// Publishing algorithms implement the Mechanism interface — Name() plus
+// Publish(ctx, *Frequency, Params) — and live in a process-wide registry
+// keyed by name. Four are built in:
+//
+//   - "privelet+" — the paper's Figure 5: wavelet transform over the
+//     non-SA attributes, per-entry noise over the SA ones (§VI-D).
+//   - "privelet" — plain Privelet (§III): the transform over every
+//     attribute; rejects a non-empty Params.SA.
+//   - "basic" — Dwork et al.'s per-entry Laplace(2/ε) mechanism (§II-B).
+//   - "hay" — Hay et al.'s hierarchical-consistency mechanism for
+//     one-dimensional histograms (§VIII's closest related work).
+//
+// MechanismByName resolves a name, Mechanisms lists what is registered,
+// and RegisterMechanism lets an embedding process add its own — new
+// mechanisms become selectable from the CLI (-mechanism) and the HTTP
+// server (?mechanism=) without touching either. The mechanism name is
+// part of a release's accounting: it travels through Save/Load, the
+// daemon's store and its /export endpoint, and survives a daemon
+// restart.
+//
+// # Streaming ingest
+//
+// A Publisher folds rows into the frequency matrix as they arrive
+// (Add/AddBatch), so ingest memory is O(domain) no matter how many rows
+// stream through — Add allocates nothing. PublishWith runs any
+// registered mechanism over the accumulated Frequency; a Frequency can
+// also be built from a buffered Table (TableFrequency) or from a raw
+// matrix (NewFrequency).
+//
+// # Cancellation
+//
+// The publish path takes a context.Context from the Mechanism interface
+// down into the engine's fan-out workers: cancelling it makes workers
+// stop at the next sub-matrix boundary and the publish return the
+// context's error with no goroutines left behind. The HTTP server ties
+// each publish to its request context, so a disconnected client cancels
+// its own in-flight work.
+//
+// # Migrating from the pre-Mechanism API
+//
+// The original entry points remain as thin wrappers and produce
+// bit-identical releases: Publish(t, Options{...}) is
+// PublishWith(ctx, "privelet+", TableFrequency(t), Params{...}),
+// PublishBasic is the "basic" mechanism, and PublishHistogram is the
+// "hay" mechanism's slice-in/slice-out form. New code should prefer the
+// Publisher/PublishWith surface: it streams, cancels, and selects
+// mechanisms by name.
 //
 // # Publish engine
 //
-// Publish runs on a parallel, allocation-frugal engine. The Figure-5
+// Publishing runs on a parallel, allocation-frugal engine. The Figure-5
 // sub-matrices (one per combination of SA coordinates) are independent,
 // as are the 1-D vectors inside each wavelet step, so the engine fans
-// both levels across a worker pool of Options.Parallelism goroutines
+// both levels across a worker pool of Params.Parallelism goroutines
 // (default: runtime.GOMAXPROCS(0)). Each worker owns a ping-pong buffer
-// pair, so a d-dimensional forward+inverse pass reuses two backing
-// slices instead of allocating 2d matrices, and vectors along the
-// innermost dimension are handed to the wavelet kernels as direct slices
-// of the backing arrays (zero-copy).
+// pair and a kernel cache, so a d-dimensional forward+inverse pass
+// reuses two backing slices and d pre-built kernels (with their scratch)
+// across every sub-matrix the worker drains; vectors along the innermost
+// dimension are handed to the wavelet kernels as direct slices of the
+// backing arrays (zero-copy).
 //
 // Parallelism never changes a release. The Laplace stream of sub-matrix
-// k is a SplitMix-derived substream keyed by (Options.Seed, k) — see
+// k is a SplitMix-derived substream keyed by (Params.Seed, k) — see
 // internal/rng.Substream — not by visit order, so equal seeds give
 // bit-identical releases at parallelism 1, 4, or a whole fleet of cores.
 //
@@ -64,9 +106,10 @@
 // binary format and Load reconstructs it with no further privacy cost.
 // The same format backs the whole deployment story — cmd/priveletd
 // serves releases over HTTP from a sharded release store
-// (internal/store) that spills cold releases to disk and recovers them
-// after a restart, and its /export endpoint, its spill files, and
-// Save/Load are byte-compatible with each other.
+// (internal/store) that spills cold releases to disk, recovers them
+// after a restart, and deletes their files on DELETE /releases/{id};
+// its /export endpoint, its spill files, and Save/Load are
+// byte-compatible with each other.
 //
 // # Security note
 //

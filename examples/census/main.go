@@ -1,10 +1,12 @@
 // Census: the paper's headline experiment in miniature. Generates a
-// Brazil-like census table, publishes it with both Basic (Dwork et al.)
-// and Privelet+, then compares the two releases' accuracy on OLAP-style
+// Brazil-like census table, publishes it through two registered
+// mechanisms — "basic" (Dwork et al.) and "privelet+" — selected by
+// name, then compares the two releases' accuracy on OLAP-style
 // range-count queries of growing size.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -33,11 +35,18 @@ func main() {
 	}
 	truth := query.NewEvaluator(truthM)
 
-	basic, err := privelet.PublishBasic(table, epsilon, seed)
+	// One frequency, two mechanisms: the registry makes head-to-head
+	// comparisons a name swap rather than an API change.
+	freq, err := privelet.TableFrequency(table)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plus, err := privelet.Publish(table, privelet.Options{
+	basic, err := privelet.PublishWith(context.Background(), "basic", freq,
+		privelet.Params{Epsilon: epsilon, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plus, err := privelet.PublishWith(context.Background(), "privelet+", freq, privelet.Params{
 		Epsilon: epsilon,
 		SA:      []string{"Age", "Gender"}, // the paper's pick
 		Seed:    seed,

@@ -3,6 +3,11 @@
 // predicates become contiguous leaf intervals, and how the nominal
 // wavelet transform's utility bound beats the ordinalized Haar bound
 // (§V-D) for hierarchy-shaped domains.
+//
+// This example deliberately stays on the legacy Table + Publish(Options)
+// wrappers to demonstrate that they keep working unchanged on top of the
+// Mechanism/Publisher API (quickstart and census show the current entry
+// points).
 package main
 
 import (

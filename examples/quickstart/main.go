@@ -1,9 +1,15 @@
 // Quickstart: publish the paper's Table I medical-records example under
 // ε-differential privacy and answer the motivating query ("how many
 // diabetes patients are under 50?") from the noisy release.
+//
+// This example uses the current API surface: a streaming Publisher that
+// folds rows straight into the frequency matrix (no table buffering) and
+// mechanism selection by registry name. The hierarchy example shows the
+// legacy Publish/Options wrappers, which remain supported.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,20 +31,28 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The eight tuples of Table I (0 = Yes, 1 = No).
-	table := privelet.NewTable(schema)
+	// Stream the eight tuples of Table I (0 = Yes, 1 = No) into a
+	// Publisher. Each Add folds the row into the frequency matrix
+	// immediately — memory stays O(domain) however many rows arrive, so
+	// the same loop ingests eight tuples or eight billion.
+	pub, err := privelet.NewPublisher(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rows := [][2]int{
 		{0, 1}, {0, 1}, {1, 1}, {2, 1}, {2, 0}, {2, 1}, {3, 1}, {4, 0},
 	}
 	for _, r := range rows {
-		if err := table.Append(r[0], r[1]); err != nil {
+		if err := pub.Add(r[0], r[1]); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	// Publish once; query forever. SA = {HasDiabetes} keeps the
-	// two-value attribute out of the wavelet transform (Corollary 1).
-	release, err := privelet.Publish(table, privelet.Options{
+	// Publish once; query forever. The mechanism is chosen by name from
+	// the registry (privelet.Mechanisms() lists what is available) and
+	// SA = {HasDiabetes} keeps the two-value attribute out of the
+	// wavelet transform (Corollary 1).
+	release, err := pub.Publish(context.Background(), "privelet+", privelet.Params{
 		Epsilon:  1.0,
 		SA:       []string{"HasDiabetes"},
 		Seed:     42,
@@ -47,6 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println("mechanisms:", privelet.Mechanisms())
 	fmt.Println("release:", release)
 
 	// The paper's intro query: diabetes patients with age under 50.

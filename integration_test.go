@@ -2,6 +2,7 @@ package privelet_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -37,7 +38,7 @@ func TestBasicEqualsSAAllBitForBit(t *testing.T) {
 		t.Fatal(err)
 	}
 	const seed = 99
-	viaCore, err := core.PublishMatrix(m, tbl.Schema(), core.Options{
+	viaCore, err := core.PublishMatrix(context.Background(), m, tbl.Schema(), core.Options{
 		Epsilon: 0.7,
 		SA:      []string{"Age", "Gender", "Occupation", "Income"},
 		Seed:    seed,
@@ -45,7 +46,7 @@ func TestBasicEqualsSAAllBitForBit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaBaseline, err := baseline.Basic(m, 0.7, seed)
+	viaBaseline, err := baseline.Basic(context.Background(), m, 0.7, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestMarginalMatchesProjectionOfRelease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rels, err := marginal.PublishSet(tbl, [][]string{{"Age", "Occupation"}}, marginal.Options{
+	rels, err := marginal.PublishSet(context.Background(), tbl, [][]string{{"Age", "Occupation"}}, marginal.Options{
 		Epsilon: 1e9, Seed: 5,
 	})
 	if err != nil {
@@ -199,7 +200,7 @@ func TestVarianceAnalyzerOnCensusWorkload(t *testing.T) {
 	const trials = 250
 	var sumSq float64
 	for i := 0; i < trials; i++ {
-		res, err := core.PublishMatrix(zero, schema, core.Options{Epsilon: 1.0, SA: sa, Seed: uint64(i)})
+		res, err := core.PublishMatrix(context.Background(), zero, schema, core.Options{Epsilon: 1.0, SA: sa, Seed: uint64(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,7 +259,7 @@ func TestWorkloadErrorTracksExactVariance(t *testing.T) {
 		}
 		configs[ci].exact = stats.Mean
 
-		res, err := core.PublishMatrix(m, schema, core.Options{Epsilon: 1.0, SA: configs[ci].sa, Seed: 11})
+		res, err := core.PublishMatrix(context.Background(), m, schema, core.Options{Epsilon: 1.0, SA: configs[ci].sa, Seed: 11})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -30,26 +31,27 @@ type BasicResult struct {
 
 // Basic publishes a noisy frequency matrix with Dwork et al.'s method:
 // each entry receives independent Laplace(2/ε) noise (sensitivity 2,
-// Theorem 1). The input matrix is not modified.
-func Basic(m *matrix.Matrix, epsilon float64, seed uint64) (*BasicResult, error) {
+// Theorem 1). The input matrix is not modified. Cancelling ctx aborts
+// the noise pass early with ctx's error.
+func Basic(ctx context.Context, m *matrix.Matrix, epsilon float64, seed uint64) (*BasicResult, error) {
 	if epsilon <= 0 {
 		return nil, fmt.Errorf("baseline: epsilon must be positive, got %v", epsilon)
 	}
 	magnitude := 2 / epsilon
 	noisy := m.Clone()
-	if err := privacy.InjectLaplaceUniform(noisy, magnitude, rng.New(seed)); err != nil {
+	if err := privacy.InjectLaplaceUniformCtx(ctx, noisy, magnitude, rng.New(seed)); err != nil {
 		return nil, err
 	}
 	return &BasicResult{Noisy: noisy, Magnitude: magnitude, Epsilon: epsilon}, nil
 }
 
 // BasicTable is Basic starting from a table.
-func BasicTable(t *dataset.Table, epsilon float64, seed uint64) (*BasicResult, error) {
+func BasicTable(ctx context.Context, t *dataset.Table, epsilon float64, seed uint64) (*BasicResult, error) {
 	m, err := t.FrequencyMatrix()
 	if err != nil {
 		return nil, err
 	}
-	return Basic(m, epsilon, seed)
+	return Basic(ctx, m, epsilon, seed)
 }
 
 // HWTResult is an HWTOrdinalized release.

@@ -87,11 +87,17 @@ func parseClause(clause string) (dataset.Attribute, error) {
 	}
 }
 
-// ReadTable loads a headerless integer CSV whose columns match the
-// schema's attributes in order. Blank lines are skipped; values are
-// 0-based domain indices.
-func ReadTable(schema *dataset.Schema, r io.Reader) (*dataset.Table, error) {
-	table := dataset.NewTable(schema)
+// ReadRows streams a headerless integer CSV whose columns match the
+// schema's attributes in order, handing each parsed row to sink as it is
+// read. Blank lines are skipped; values are 0-based domain indices. The
+// row slice passed to sink is reused between calls — sinks that retain
+// rows must copy (the intended sinks, dataset.Table.Append and
+// privelet's Publisher.Add, both consume the values immediately).
+//
+// This is the streaming ingest chokepoint: with a frequency-folding sink
+// the whole pipe from CSV bytes to matrix counts holds one row in memory
+// at a time, so n ≫ RAM tables publish fine.
+func ReadRows(schema *dataset.Schema, r io.Reader, sink func(vals ...int) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
@@ -104,20 +110,29 @@ func ReadTable(schema *dataset.Schema, r io.Reader) (*dataset.Table, error) {
 		}
 		fields := strings.Split(text, ",")
 		if len(fields) != schema.NumAttrs() {
-			return nil, fmt.Errorf("cli: line %d: %d fields, want %d", line, len(fields), schema.NumAttrs())
+			return fmt.Errorf("cli: line %d: %d fields, want %d", line, len(fields), schema.NumAttrs())
 		}
 		for i, f := range fields {
 			v, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
-				return nil, fmt.Errorf("cli: line %d field %d: %w", line, i+1, err)
+				return fmt.Errorf("cli: line %d field %d: %w", line, i+1, err)
 			}
 			vals[i] = v
 		}
-		if err := table.Append(vals...); err != nil {
-			return nil, fmt.Errorf("cli: line %d: %w", line, err)
+		if err := sink(vals...); err != nil {
+			return fmt.Errorf("cli: line %d: %w", line, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// ReadTable loads a headerless integer CSV into a buffered table — the
+// legacy ingest path, retained for callers that need the tuples
+// themselves. Publishing pipelines should prefer ReadRows with a
+// streaming sink, which never materializes the n tuples.
+func ReadTable(schema *dataset.Schema, r io.Reader) (*dataset.Table, error) {
+	table := dataset.NewTable(schema)
+	if err := ReadRows(schema, r, table.Append); err != nil {
 		return nil, err
 	}
 	return table, nil

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -101,6 +102,55 @@ func TestReadTable(t *testing.T) {
 		t.Fatalf("row 2 = %v", row)
 	}
 }
+
+func TestReadRowsStreams(t *testing.T) {
+	s, err := ParseSchema("A:ordinal:4,B:nominal:flat:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := "0,1\n3,2\n\n 2 , 0 \n"
+	var got [][]int
+	err = ReadRows(s, strings.NewReader(in), func(vals ...int) error {
+		// The sink contract: vals is reused, so retainers must copy.
+		got = append(got, append([]int(nil), vals...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {3, 2}, {2, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadRowsSinkError(t *testing.T) {
+	s, err := ParseSchema("A:ordinal:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err = ReadRows(s, strings.NewReader("0\n1\n2\n"), func(...int) error {
+		calls++
+		if calls == 2 {
+			return errBoom
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 sink error", err)
+	}
+	if calls != 2 {
+		t.Fatalf("sink called %d times after error, want 2", calls)
+	}
+}
+
+var errBoom = fmt.Errorf("boom")
 
 func TestReadTableErrors(t *testing.T) {
 	s, err := ParseSchema("A:ordinal:4,B:ordinal:4")

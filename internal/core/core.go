@@ -32,6 +32,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -92,19 +93,29 @@ type Result struct {
 
 // Publish runs Privelet+ on a table: it materializes the frequency matrix
 // and delegates to PublishMatrix. O(n + m) as the paper requires.
-func Publish(t *dataset.Table, opts Options) (*Result, error) {
+func Publish(ctx context.Context, t *dataset.Table, opts Options) (*Result, error) {
 	m, err := t.FrequencyMatrix()
 	if err != nil {
 		return nil, err
 	}
-	return PublishMatrix(m, t.Schema(), opts)
+	return PublishMatrix(ctx, m, t.Schema(), opts)
 }
 
 // PublishMatrix runs Privelet+ directly on a frequency matrix. The input
 // matrix is not modified.
-func PublishMatrix(m *matrix.Matrix, schema *dataset.Schema, opts Options) (*Result, error) {
+//
+// Cancelling ctx aborts the publish: workers observe the cancellation at
+// sub-matrix boundaries (and, for the Basic special case, between noise
+// chunks), finish their current unit, and PublishMatrix returns ctx's
+// error with no goroutines left behind. A serving layer can therefore
+// tie a publish to the client's request context and reclaim the workers
+// the moment the client disconnects.
+func PublishMatrix(ctx context.Context, m *matrix.Matrix, schema *dataset.Schema, opts Options) (*Result, error) {
 	if opts.Epsilon <= 0 {
 		return nil, fmt.Errorf("core: epsilon must be positive, got %v", opts.Epsilon)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	saIdx, restIdx, err := partition(schema, opts.SA)
 	if err != nil {
@@ -124,7 +135,7 @@ func PublishMatrix(m *matrix.Matrix, schema *dataset.Schema, opts Options) (*Res
 	if len(restIdx) == 0 {
 		lambda := 2 / opts.Epsilon
 		noisy := m.Clone()
-		if err := privacy.InjectLaplaceUniform(noisy, lambda, rng.New(opts.Seed)); err != nil {
+		if err := privacy.InjectLaplaceUniformCtx(ctx, noisy, lambda, rng.New(opts.Seed)); err != nil {
 			return nil, err
 		}
 		return &Result{
@@ -186,10 +197,23 @@ func PublishMatrix(m *matrix.Matrix, schema *dataset.Schema, opts Options) (*Res
 	// never exceeds the Parallelism cap and never strands budgeted
 	// workers (par=8 over 5 sub-matrices: shares 2,2,2,1,1).
 	process := func(innerWorkers int) error {
-		ex := transform.Exec{Workers: innerWorkers, Pipe: matrix.NewPipeline()}
+		// Pipeline and kernel cache are per-worker: ping-pong buffers,
+		// kernel instances and their scratch all live for the worker's
+		// whole run, so the steady-state per-sub-matrix allocation count
+		// is zero no matter how many sub-matrices the worker drains.
+		ex := transform.Exec{
+			Workers: innerWorkers,
+			Pipe:    matrix.NewPipeline(),
+			Cache:   hn.NewKernelCache(innerWorkers),
+		}
 		var sub *matrix.Matrix
 		coords := make([]int, len(saIdx))
 		for {
+			// Cancellation is observed between sub-matrices: a worker
+			// finishes the unit it started, then stops pulling new ones.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			idx := int(next.Add(1)) - 1
 			if idx >= subCount {
 				return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,7 +23,7 @@ func smallCensus(t testing.TB, n int, seed uint64) *dataset.Table {
 
 func TestPublishShapeAndAccounting(t *testing.T) {
 	tbl := smallCensus(t, 1000, 1)
-	res, err := Publish(tbl, Options{Epsilon: 1, SA: []string{"Age", "Gender"}, Seed: 7})
+	res, err := Publish(context.Background(), tbl, Options{Epsilon: 1, SA: []string{"Age", "Gender"}, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,18 +55,18 @@ func TestPublishShapeAndAccounting(t *testing.T) {
 
 func TestPublishDeterminism(t *testing.T) {
 	tbl := smallCensus(t, 500, 2)
-	a, err := Publish(tbl, Options{Epsilon: 1, Seed: 5})
+	a, err := Publish(context.Background(), tbl, Options{Epsilon: 1, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Publish(tbl, Options{Epsilon: 1, Seed: 5})
+	b, err := Publish(context.Background(), tbl, Options{Epsilon: 1, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !a.Noisy.AlmostEqual(b.Noisy, 0) {
 		t.Error("same seed produced different releases")
 	}
-	c, err := Publish(tbl, Options{Epsilon: 1, Seed: 6})
+	c, err := Publish(context.Background(), tbl, Options{Epsilon: 1, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,25 +77,25 @@ func TestPublishDeterminism(t *testing.T) {
 
 func TestPublishValidation(t *testing.T) {
 	tbl := smallCensus(t, 10, 3)
-	if _, err := Publish(tbl, Options{Epsilon: 0}); err == nil {
+	if _, err := Publish(context.Background(), tbl, Options{Epsilon: 0}); err == nil {
 		t.Error("epsilon 0 should fail")
 	}
-	if _, err := Publish(tbl, Options{Epsilon: -1}); err == nil {
+	if _, err := Publish(context.Background(), tbl, Options{Epsilon: -1}); err == nil {
 		t.Error("negative epsilon should fail")
 	}
-	if _, err := Publish(tbl, Options{Epsilon: 1, SA: []string{"Nope"}}); err == nil {
+	if _, err := Publish(context.Background(), tbl, Options{Epsilon: 1, SA: []string{"Nope"}}); err == nil {
 		t.Error("unknown SA attribute should fail")
 	}
-	if _, err := Publish(tbl, Options{Epsilon: 1, SA: []string{"Age", "Age"}}); err == nil {
+	if _, err := Publish(context.Background(), tbl, Options{Epsilon: 1, SA: []string{"Age", "Age"}}); err == nil {
 		t.Error("duplicate SA attribute should fail")
 	}
 	// Matrix/schema shape mismatch.
 	m := matrix.MustNew(3, 3)
-	if _, err := PublishMatrix(m, tbl.Schema(), Options{Epsilon: 1}); err == nil {
+	if _, err := PublishMatrix(context.Background(), m, tbl.Schema(), Options{Epsilon: 1}); err == nil {
 		t.Error("shape mismatch should fail")
 	}
 	m2 := matrix.MustNew(3)
-	if _, err := PublishMatrix(m2, tbl.Schema(), Options{Epsilon: 1}); err == nil {
+	if _, err := PublishMatrix(context.Background(), m2, tbl.Schema(), Options{Epsilon: 1}); err == nil {
 		t.Error("dimensionality mismatch should fail")
 	}
 }
@@ -104,7 +105,7 @@ func TestSAAllIsBasic(t *testing.T) {
 	// lambda 2/ε, noise variance per entry ≈ 2·(2/ε)².
 	s := dataset.MustSchema(dataset.OrdinalAttr("A", 50), dataset.OrdinalAttr("B", 50))
 	m := matrix.MustNew(50, 50)
-	res, err := PublishMatrix(m, s, Options{Epsilon: 0.5, SA: []string{"A", "B"}, Seed: 3})
+	res, err := PublishMatrix(context.Background(), m, s, Options{Epsilon: 0.5, SA: []string{"A", "B"}, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestNoiselessLambdaZeroPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := PublishMatrix(m, tbl.Schema(), Options{Epsilon: 1e9, SA: []string{"Gender"}, Seed: 1})
+	res, err := PublishMatrix(context.Background(), m, tbl.Schema(), Options{Epsilon: 1e9, SA: []string{"Gender"}, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +157,11 @@ func TestQueryAccuracyBeatsBasicOnLargeQueries(t *testing.T) {
 	}
 	truth := query.NewEvaluator(m)
 
-	pres, err := PublishMatrix(m, tbl.Schema(), Options{Epsilon: 1, SA: []string{"Age", "Gender"}, Seed: 11})
+	pres, err := PublishMatrix(context.Background(), m, tbl.Schema(), Options{Epsilon: 1, SA: []string{"Age", "Gender"}, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bres, err := PublishMatrix(m, tbl.Schema(), Options{Epsilon: 1, SA: []string{"Age", "Gender", "Occupation", "Income"}, Seed: 11})
+	bres, err := PublishMatrix(context.Background(), m, tbl.Schema(), Options{Epsilon: 1, SA: []string{"Age", "Gender", "Occupation", "Income"}, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestVarianceBoundHolds(t *testing.T) {
 	var sumSq float64
 	var bound float64
 	for trial := 0; trial < trials; trial++ {
-		res, err := PublishMatrix(m, s, Options{Epsilon: eps, Seed: uint64(trial)})
+		res, err := PublishMatrix(context.Background(), m, s, Options{Epsilon: eps, Seed: uint64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -286,7 +287,7 @@ func TestPublishPreservesInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := m.Clone()
-	if _, err := PublishMatrix(m, tbl.Schema(), Options{Epsilon: 1, Seed: 2}); err != nil {
+	if _, err := PublishMatrix(context.Background(), m, tbl.Schema(), Options{Epsilon: 1, Seed: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if !m.AlmostEqual(before, 0) {
@@ -299,7 +300,7 @@ func TestPriveletNoSA1D(t *testing.T) {
 	// rho = 5, lambda = 2·5/ε.
 	s := dataset.MustSchema(dataset.OrdinalAttr("A", 16))
 	m := matrix.MustNew(16)
-	res, err := PublishMatrix(m, s, Options{Epsilon: 2, Seed: 1})
+	res, err := PublishMatrix(context.Background(), m, s, Options{Epsilon: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 // publishAt publishes the same table at a given parallelism.
 func publishAt(t *testing.T, tbl *dataset.Table, sa []string, par int) *Result {
 	t.Helper()
-	res, err := Publish(tbl, Options{Epsilon: 1, SA: sa, Seed: 99, Parallelism: par})
+	res, err := Publish(context.Background(), tbl, Options{Epsilon: 1, SA: sa, Seed: 99, Parallelism: par})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestPublishInputUnmodified(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := m.Clone()
-	if _, err := PublishMatrix(m, tbl.Schema(), Options{Epsilon: 1, SA: []string{"Age"}, Seed: 1, Parallelism: 8}); err != nil {
+	if _, err := PublishMatrix(context.Background(), m, tbl.Schema(), Options{Epsilon: 1, SA: []string{"Age"}, Seed: 1, Parallelism: 8}); err != nil {
 		t.Fatal(err)
 	}
 	if d, _ := m.MaxAbsDiff(before); d != 0 {

@@ -249,11 +249,7 @@ func (t *Table) FrequencyMatrix() (*matrix.Matrix, error) {
 		return nil, err
 	}
 	d := t.schema.NumAttrs()
-	strides := make([]int, d)
-	strides[d-1] = 1
-	for i := d - 2; i >= 0; i-- {
-		strides[i] = strides[i+1] * t.schema.attrs[i+1].Size
-	}
+	strides := matrix.Strides(t.schema.Dims())
 	data := m.Data()
 	for base := 0; base < len(t.vals); base += d {
 		off := 0

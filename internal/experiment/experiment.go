@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -168,11 +169,11 @@ func RunAccuracy(spec dataset.CensusSpec, prof Profile, metric Metric) (*Accurac
 	}
 	for ei, eps := range prof.Epsilons {
 		seed := prof.Seed + 100*uint64(ei) + 17
-		bres, err := baseline.Basic(m, eps, seed)
+		bres, err := baseline.Basic(context.Background(), m, eps, seed)
 		if err != nil {
 			return nil, err
 		}
-		pres, err := core.PublishMatrix(m, tbl.Schema(), core.Options{Epsilon: eps, SA: prof.SA, Seed: seed + 1})
+		pres, err := core.PublishMatrix(context.Background(), m, tbl.Schema(), core.Options{Epsilon: eps, SA: prof.SA, Seed: seed + 1})
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +288,7 @@ func timeOne(spec dataset.UniformSpec, n int, seed uint64) (TimingPoint, error) 
 	if err != nil {
 		return TimingPoint{}, err
 	}
-	if _, err := baseline.Basic(m, 1.0, seed+1); err != nil {
+	if _, err := baseline.Basic(context.Background(), m, 1.0, seed+1); err != nil {
 		return TimingPoint{}, err
 	}
 	basicTime := time.Since(start)
@@ -297,7 +298,7 @@ func timeOne(spec dataset.UniformSpec, n int, seed uint64) (TimingPoint, error) 
 	if err != nil {
 		return TimingPoint{}, err
 	}
-	if _, err := core.PublishMatrix(m2, schema, core.Options{Epsilon: 1.0, Seed: seed + 2}); err != nil {
+	if _, err := core.PublishMatrix(context.Background(), m2, schema, core.Options{Epsilon: 1.0, Seed: seed + 2}); err != nil {
 		return TimingPoint{}, err
 	}
 	priveletTime := time.Since(start)

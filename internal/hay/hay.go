@@ -26,6 +26,7 @@
 package hay
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -49,13 +50,20 @@ type Result struct {
 }
 
 // Publish releases v under ε-differential privacy with the hierarchical
-// consistency mechanism. The input is not modified.
-func Publish(v []float64, epsilon float64, seed uint64) (*Result, error) {
+// consistency mechanism. The input is not modified. A cancelled ctx
+// aborts before the noisy tree is built; the mechanism itself is O(m)
+// and runs to completion once started.
+func Publish(ctx context.Context, v []float64, epsilon float64, seed uint64) (*Result, error) {
 	if epsilon <= 0 {
 		return nil, fmt.Errorf("hay: epsilon must be positive, got %v", epsilon)
 	}
 	if len(v) == 0 {
 		return nil, fmt.Errorf("hay: empty input")
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	m := haar.NextPowerOfTwo(len(v))
 	padded := make([]float64, m)
@@ -146,6 +154,32 @@ func bitsLen(k int) int {
 		n++
 	}
 	return n
+}
+
+// VarianceBound returns an analytic worst-case noise variance for any
+// interval query answered from a released histogram over a padded domain
+// of size m. A consistent tree satisfies parent = Σ children exactly, so
+// summing histogram entries over an interval equals summing its ≤
+// 2·log₂(m) dyadic-decomposition nodes; each node's consistent estimate
+// has variance at most that of its raw noisy count, 2·(2h/ε)², giving
+//
+//	Var ≤ 2·log₂(m) · 2·(2h/ε)²   (h = log₂(m)+1)
+//
+// Consistency post-processing only lowers per-node variance, so the
+// bound is conservative. It matches Privelet's polylog profile, as §VIII
+// of the wavelet paper notes for the 1-D case.
+func VarianceBound(epsilon float64, m int) float64 {
+	if epsilon <= 0 || m <= 0 {
+		return math.Inf(1)
+	}
+	padded := haar.NextPowerOfTwo(m)
+	levels := float64(haar.Log2(padded) + 1)
+	lambda := 2 * levels / epsilon
+	nodes := 2 * float64(haar.Log2(padded))
+	if nodes < 1 {
+		nodes = 1 // m = 1: the single root node
+	}
+	return nodes * 2 * lambda * lambda
 }
 
 // IntervalCount answers an inclusive interval query [lo, hi] from a

@@ -1,6 +1,7 @@
 package hay
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -9,20 +10,20 @@ import (
 )
 
 func TestPublishValidation(t *testing.T) {
-	if _, err := Publish(nil, 1, 0); err == nil {
+	if _, err := Publish(context.Background(), nil, 1, 0); err == nil {
 		t.Error("empty input should fail")
 	}
-	if _, err := Publish([]float64{1}, 0, 0); err == nil {
+	if _, err := Publish(context.Background(), []float64{1}, 0, 0); err == nil {
 		t.Error("epsilon 0 should fail")
 	}
-	if _, err := Publish([]float64{1}, -2, 0); err == nil {
+	if _, err := Publish(context.Background(), []float64{1}, -2, 0); err == nil {
 		t.Error("negative epsilon should fail")
 	}
 }
 
 func TestPublishShapeAndAccounting(t *testing.T) {
 	v := []float64{3, 1, 4, 1, 5, 9, 2, 6}
-	res, err := Publish(v, 1, 7)
+	res, err := Publish(context.Background(), v, 1, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestPublishShapeAndAccounting(t *testing.T) {
 
 func TestPublishNonPowerOfTwoLength(t *testing.T) {
 	v := []float64{2, 4, 6}
-	res, err := Publish(v, 1e9, 1)
+	res, err := Publish(context.Background(), v, 1e9, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestPublishNonPowerOfTwoLength(t *testing.T) {
 
 func TestPublishNearNoiseless(t *testing.T) {
 	v := []float64{3, 1, 4, 1, 5, 9, 2, 6}
-	res, err := Publish(v, 1e9, 2)
+	res, err := Publish(context.Background(), v, 1e9, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,11 +176,11 @@ func TestIntervalCount(t *testing.T) {
 
 func TestPublishDeterminism(t *testing.T) {
 	v := []float64{1, 2, 3, 4}
-	a, err := Publish(v, 1, 42)
+	a, err := Publish(context.Background(), v, 1, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Publish(v, 1, 42)
+	b, err := Publish(context.Background(), v, 1, 42)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package marginal
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -103,8 +104,8 @@ type Options struct {
 
 // PublishSet releases one marginal per attribute list. Sequential
 // composition makes the whole release (opts.Epsilon)-differentially
-// private.
-func PublishSet(t *dataset.Table, sets [][]string, opts Options) ([]*Release, error) {
+// private. Cancelling ctx aborts between (and inside) marginals.
+func PublishSet(ctx context.Context, t *dataset.Table, sets [][]string, opts Options) ([]*Release, error) {
 	if len(sets) == 0 {
 		return nil, fmt.Errorf("marginal: no marginals requested")
 	}
@@ -129,7 +130,7 @@ func PublishSet(t *dataset.Table, sets [][]string, opts Options) ([]*Release, er
 				return nil, fmt.Errorf("marginal %d: %w", si, err)
 			}
 		}
-		res, err := core.PublishMatrix(proj, sub, core.Options{
+		res, err := core.PublishMatrix(ctx, proj, sub, core.Options{
 			Epsilon: per, SA: sa, Seed: opts.Seed + uint64(si)*7919,
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package marginal
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -100,7 +101,7 @@ func TestProjectErrors(t *testing.T) {
 
 func TestPublishSetBudgetSplit(t *testing.T) {
 	tbl := censusTable(t, 2000)
-	rels, err := PublishSet(tbl, [][]string{
+	rels, err := PublishSet(context.Background(), tbl, [][]string{
 		{"Age"}, {"Gender", "Occupation"},
 	}, Options{Epsilon: 1.0, Seed: 5})
 	if err != nil {
@@ -126,7 +127,7 @@ func TestPublishSetBudgetSplit(t *testing.T) {
 func TestPublishSetAccuracy(t *testing.T) {
 	// With a huge budget the noisy marginals are near-exact.
 	tbl := censusTable(t, 5000)
-	rels, err := PublishSet(tbl, [][]string{{"Age", "Gender"}}, Options{Epsilon: 1e9, Seed: 6, AutoSA: true})
+	rels, err := PublishSet(context.Background(), tbl, [][]string{{"Age", "Gender"}}, Options{Epsilon: 1e9, Seed: 6, AutoSA: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestPublishSetAccuracy(t *testing.T) {
 
 func TestPublishSetSanitize(t *testing.T) {
 	tbl := censusTable(t, 500)
-	rels, err := PublishSet(tbl, [][]string{{"Gender"}}, Options{Epsilon: 0.5, Seed: 7, Sanitize: true})
+	rels, err := PublishSet(context.Background(), tbl, [][]string{{"Gender"}}, Options{Epsilon: 0.5, Seed: 7, Sanitize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,20 +160,20 @@ func TestPublishSetSanitize(t *testing.T) {
 
 func TestPublishSetValidation(t *testing.T) {
 	tbl := censusTable(t, 10)
-	if _, err := PublishSet(tbl, nil, Options{Epsilon: 1}); err == nil {
+	if _, err := PublishSet(context.Background(), tbl, nil, Options{Epsilon: 1}); err == nil {
 		t.Error("no marginals should fail")
 	}
-	if _, err := PublishSet(tbl, [][]string{{"Age"}}, Options{Epsilon: 0}); err == nil {
+	if _, err := PublishSet(context.Background(), tbl, [][]string{{"Age"}}, Options{Epsilon: 0}); err == nil {
 		t.Error("epsilon 0 should fail")
 	}
-	if _, err := PublishSet(tbl, [][]string{{"ghost"}}, Options{Epsilon: 1}); err == nil {
+	if _, err := PublishSet(context.Background(), tbl, [][]string{{"ghost"}}, Options{Epsilon: 1}); err == nil {
 		t.Error("unknown attribute should fail")
 	}
 }
 
 func TestConsistencyGap(t *testing.T) {
 	tbl := censusTable(t, 4000)
-	rels, err := PublishSet(tbl, [][]string{{"Age"}, {"Gender"}}, Options{Epsilon: 1.0, Seed: 8})
+	rels, err := PublishSet(context.Background(), tbl, [][]string{{"Age"}, {"Gender"}}, Options{Epsilon: 1.0, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestMarginalAnswersRangeQueries(t *testing.T) {
 	// Released marginals are ordinary frequency matrices: the query
 	// engine applies unchanged.
 	tbl := censusTable(t, 3000)
-	rels, err := PublishSet(tbl, [][]string{{"Age", "Gender"}}, Options{Epsilon: 1e9, Seed: 9})
+	rels, err := PublishSet(context.Background(), tbl, [][]string{{"Age", "Gender"}}, Options{Epsilon: 1e9, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

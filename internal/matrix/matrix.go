@@ -48,7 +48,7 @@ func New(dims ...int) (*Matrix, error) {
 	}
 	m := &Matrix{
 		dims:    append([]int(nil), dims...),
-		strides: stridesFor(dims),
+		strides: Strides(dims),
 		data:    make([]float64, total),
 	}
 	return m, nil

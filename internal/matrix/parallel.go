@@ -28,18 +28,26 @@ import (
 // dst never aliases src but may hold stale data from a reused buffer.
 type VecFunc func(src, dst []float64)
 
-// KernelFactory produces one kernel instance per worker. Instances run
-// from a single goroutine each, so they may close over private scratch —
-// but the factory itself is called concurrently from the worker
-// goroutines and must not touch shared mutable state.
-type KernelFactory func() VecFunc
+// KernelFactory produces the kernel instance of worker `worker`
+// (0 ≤ worker < the ApplyAlong call's worker count; serial calls use 0).
+// Instances run from a single goroutine each, so they may close over
+// private scratch — but the factory itself is called concurrently from
+// the worker goroutines and must not touch shared mutable state. The
+// worker index lets callers cache instances (and their scratch) across
+// successive ApplyAlong calls: within one call each index is used by at
+// most one goroutine, and calls are ordered through the spawning
+// goroutine, so a per-(dimension, worker) cache needs no locking.
+type KernelFactory func(worker int) VecFunc
 
 // SharedKernel adapts a stateless, concurrency-safe kernel to a
 // KernelFactory.
-func SharedKernel(f VecFunc) KernelFactory { return func() VecFunc { return f } }
+func SharedKernel(f VecFunc) KernelFactory { return func(int) VecFunc { return f } }
 
-// stridesFor computes row-major strides for the given dimension sizes.
-func stridesFor(dims []int) []int {
+// Strides returns the row-major strides for the given dimension sizes —
+// the single definition of the matrix memory layout, shared by the
+// dataset frequency fold and the streaming publisher so a layout change
+// cannot desynchronize them.
+func Strides(dims []int) []int {
 	strides := make([]int, len(dims))
 	strides[len(dims)-1] = 1
 	for i := len(dims) - 2; i >= 0; i-- {
@@ -90,7 +98,7 @@ func (m *Matrix) applyAlongInto(dim, workers int, factory KernelFactory, out *Ma
 		workers = total
 	}
 	if workers <= 1 {
-		m.applyRange(out, dim, 0, total, factory())
+		m.applyRange(out, dim, 0, total, factory(0))
 		return
 	}
 	var wg sync.WaitGroup
@@ -101,10 +109,10 @@ func (m *Matrix) applyAlongInto(dim, workers int, factory KernelFactory, out *Ma
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			m.applyRange(out, dim, lo, hi, factory())
-		}(lo, hi)
+			m.applyRange(out, dim, lo, hi, factory(w))
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }
@@ -196,7 +204,7 @@ func (p *Pipeline) ApplyAlong(m *Matrix, dim, newSize, workers int, factory Kern
 	}
 	out := &Matrix{
 		dims:    newDims,
-		strides: stridesFor(newDims),
+		strides: Strides(newDims),
 		data:    p.take(target, total),
 	}
 	p.next = 1 - target

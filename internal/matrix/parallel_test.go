@@ -59,7 +59,7 @@ func TestApplyAlongPoolPerWorkerKernels(t *testing.T) {
 	// A kernel with private scratch must behave identically to a pure
 	// kernel when each worker gets its own instance from the factory.
 	m := randomMatrix(t, 5, 16, 32)
-	factory := func() VecFunc {
+	factory := func(int) VecFunc {
 		scratch := make([]float64, 32)
 		return func(src, dst []float64) {
 			copy(scratch, src)

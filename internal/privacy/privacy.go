@@ -12,6 +12,7 @@
 package privacy
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -195,12 +196,39 @@ func InjectLaplace(c *matrix.Matrix, weightVecs [][]float64, lambda float64, src
 // InjectLaplaceUniform adds Laplace noise of a single magnitude to every
 // entry — Dwork et al.'s Basic mechanism step.
 func InjectLaplaceUniform(m *matrix.Matrix, magnitude float64, src *rng.Source) error {
+	return InjectLaplaceUniformCtx(context.Background(), m, magnitude, src)
+}
+
+// uniformChunk is how many entries InjectLaplaceUniformCtx processes
+// between context checks: large enough that the check is free relative
+// to the Laplace draws, small enough that cancelling a Basic publish of
+// a multi-million-entry domain takes effect in well under a millisecond.
+const uniformChunk = 1 << 16
+
+// InjectLaplaceUniformCtx is InjectLaplaceUniform under a context: the
+// pass checks ctx between chunks of entries and stops early with ctx's
+// error when cancelled (the matrix is then partially noised and must be
+// discarded — never released). The noise sequence is identical to the
+// context-free variant at every chunk size.
+func InjectLaplaceUniformCtx(ctx context.Context, m *matrix.Matrix, magnitude float64, src *rng.Source) error {
 	if magnitude < 0 {
 		return fmt.Errorf("privacy: negative magnitude %v", magnitude)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	data := m.Data()
-	for i := range data {
-		data[i] += src.Laplace(magnitude)
+	for base := 0; base < len(data); base += uniformChunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := base + uniformChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		for i := base; i < end; i++ {
+			data[i] += src.Laplace(magnitude)
+		}
 	}
 	return nil
 }

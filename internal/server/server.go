@@ -10,15 +10,25 @@
 // bounded in memory and durable across restarts. See that package for
 // the serving-model rationale.
 //
+// Publishing goes through the privelet mechanism registry: the publish
+// endpoint's mechanism parameter selects any registered mechanism by
+// name ("privelet+", "privelet", "basic", "hay", plus whatever the
+// embedding process registered), the uploaded CSV is streamed straight
+// into the frequency matrix (the table is never buffered), and the
+// publish runs under the request context so a disconnected client
+// cancels its own in-flight work.
+//
 // Endpoints:
 //
-//	POST /publish?schema=...&epsilon=...&sa=...&seed=...&mechanism=...&parallelism=...
-//	     body: headerless integer CSV           → {"id": "...", ...}
-//	GET  /releases                              → list of release summaries
-//	GET  /releases/{id}                         → one summary
-//	GET  /releases/{id}/count?q=...             → {"count": ...}
-//	GET  /releases/{id}/export                  → binary codec payload
-//	GET  /stats                                 → store accounting (evictions, reloads, ...)
+//	POST   /publish?schema=...&epsilon=...&sa=...&seed=...&mechanism=...&parallelism=...
+//	       body: headerless integer CSV           → {"id": "...", ...}
+//	GET    /releases                              → list of release summaries
+//	GET    /releases/{id}                         → one summary
+//	DELETE /releases/{id}                         → withdraw release, delete spill file
+//	GET    /releases/{id}/count?q=...             → {"count": ...}
+//	GET    /releases/{id}/export                  → binary codec payload
+//	GET    /mechanisms                            → registered mechanism names
+//	GET    /stats                                 → store accounting (evictions, reloads, ...)
 //
 // Query syntax (q parameter): comma-separated predicates,
 //
@@ -28,6 +38,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,11 +48,10 @@ import (
 	"strings"
 	"sync/atomic"
 
+	privelet "repro"
 	"repro/internal/cli"
 	"repro/internal/codec"
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/matrix"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -57,6 +67,10 @@ type Config struct {
 	// competing for every core while a single-tenant box keeps the
 	// default.
 	Parallelism int
+	// DefaultMechanism is the registry mechanism used when a publish
+	// request omits the mechanism parameter; empty means "privelet+".
+	// It must name a registered mechanism (see privelet.Mechanisms).
+	DefaultMechanism string
 	// Store holds the releases. nil means an unbounded in-memory store;
 	// inject a spillable one (store.Config{Dir, MaxResident}) to bound
 	// memory and survive restarts.
@@ -69,23 +83,33 @@ type Server struct {
 	store       *store.Store
 	maxBody     int64
 	parallelism int
+	defaultMech string
 	// nextID mints release IDs; seeded past any IDs recovered from the
 	// store's spill directory so a restarted daemon never collides.
 	nextID atomic.Int64
 }
 
 // New returns a server over cfg.Store (or a fresh unbounded in-memory
-// store when nil).
+// store when nil). A non-empty cfg.DefaultMechanism that is not
+// registered panics — like http.ServeMux on a bad pattern, a
+// construction-time misconfiguration should fail at startup, not as a
+// 400 on every publish request.
 func New(cfg Config) *Server {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 64 << 20
+	}
+	if cfg.DefaultMechanism == "" {
+		cfg.DefaultMechanism = "privelet+"
+	}
+	if _, err := privelet.MechanismByName(cfg.DefaultMechanism); err != nil {
+		panic(fmt.Sprintf("server: bad Config.DefaultMechanism: %v", err))
 	}
 	st := cfg.Store
 	if st == nil {
 		// The zero store config cannot fail.
 		st, _ = store.New(store.Config{})
 	}
-	s := &Server{store: st, maxBody: cfg.MaxBody, parallelism: cfg.Parallelism}
+	s := &Server{store: st, maxBody: cfg.MaxBody, parallelism: cfg.Parallelism, defaultMech: cfg.DefaultMechanism}
 	for _, stub := range st.List() {
 		if n, ok := parseReleaseID(stub.ID); ok && n > s.nextID.Load() {
 			s.nextID.Store(n)
@@ -112,8 +136,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /publish", s.handlePublish)
 	mux.HandleFunc("GET /releases", s.handleList)
 	mux.HandleFunc("GET /releases/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /releases/{id}", s.handleDelete)
 	mux.HandleFunc("GET /releases/{id}/count", s.handleCount)
 	mux.HandleFunc("GET /releases/{id}/export", s.handleExport)
+	mux.HandleFunc("GET /mechanisms", s.handleMechanisms)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
@@ -174,9 +200,24 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	sa := cli.SplitNonEmpty(qp.Get("sa"))
-	mechanism := qp.Get("mechanism")
-	if mechanism == "" {
-		mechanism = "privelet+"
+	// A literal '+' in a query string decodes to a space, so a curl-ed
+	// ?mechanism=privelet+ arrives as "privelet ". No mechanism name can
+	// contain a space, so mapping spaces back to '+' recovers the
+	// intuitive spelling (properly-encoded %2B is unaffected).
+	mechName := strings.ReplaceAll(qp.Get("mechanism"), " ", "+")
+	if mechName == "" {
+		mechName = s.defaultMech
+	}
+	mech, err := privelet.MechanismByName(mechName)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Compatibility: the pre-registry server ignored sa for the basic
+	// mechanism (it pinned SA = all attributes itself), so existing
+	// clients may still send both; keep ignoring it rather than 400.
+	if mechName == "basic" {
+		sa = nil
 	}
 	// Publish worker count: requests may lower it below the ceiling —
 	// the operator's Config.Parallelism when set, capped at the
@@ -200,38 +241,45 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 
-	table, err := cli.ReadTable(schema, http.MaxBytesReader(w, req.Body, s.maxBody))
-	if err != nil {
+	// Reject parameter/mechanism mismatches before reading the body —
+	// with streaming ingest the CSV pass is the request's dominant cost.
+	params := privelet.Params{Epsilon: epsilon, SA: sa, Seed: seed, Parallelism: par}
+	if err := privelet.ValidateParams(mech, schema, params); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	var noisy *matrix.Matrix
-	var meta codec.Meta
-	switch mechanism {
-	case "privelet+":
-		res, err := core.Publish(table, core.Options{Epsilon: epsilon, SA: sa, Seed: seed, Parallelism: par})
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		noisy = res.Noisy
-		meta = codec.Meta{Mechanism: mechanism, Epsilon: res.Epsilon, Rho: res.Rho, Lambda: res.Lambda, Bound: res.VarianceBound}
-	case "basic":
-		res, err := core.Publish(table, core.Options{Epsilon: epsilon, SA: allNames(schema), Seed: seed, Parallelism: par})
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		noisy = res.Noisy
-		meta = codec.Meta{Mechanism: mechanism, Epsilon: res.Epsilon, Rho: res.Rho, Lambda: res.Lambda, Bound: res.VarianceBound}
-	default:
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown mechanism %q", mechanism))
+	// Stream the CSV body straight into the frequency matrix: the server
+	// never materializes the uploaded table, so a publish holds O(domain)
+	// memory regardless of the row count (MaxBody still bounds the bytes
+	// read, as an upload-abuse guard rather than a memory ceiling).
+	pub, err := privelet.NewPublisher(schema)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := cli.ReadRows(schema, http.MaxBytesReader(w, req.Body, s.maxBody), pub.Add); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
+	// The publish runs under the request context: when the client
+	// disconnects mid-publish, the engine's workers stop at the next
+	// sub-matrix boundary instead of finishing a release nobody wants.
+	res, err := mech.Publish(req.Context(), pub.Frequency(), params)
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; the status is for the access log only.
+		httpError(w, statusClientClosedRequest, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	meta := codec.Meta{Mechanism: mech.Name(), Epsilon: res.Epsilon, Rho: res.Rho, Lambda: res.Lambda, Bound: res.VarianceBound}
+
 	id := fmt.Sprintf("r%d", s.nextID.Add(1))
-	payload := &codec.Payload{Meta: meta, Schema: schema, Noisy: noisy}
+	payload := &codec.Payload{Meta: meta, Schema: schema, Noisy: res.Noisy}
 	if err := s.store.Put(id, payload, par); err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -245,12 +293,16 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 		Rho:       meta.Rho,
 		Lambda:    meta.Lambda,
 		Bound:     meta.Bound,
-		Entries:   noisy.Len(),
+		Entries:   res.Noisy.Len(),
 		Attrs:     allNames(schema),
 		Workers:   par,
 		Resident:  true,
 	})
 }
+
+// statusClientClosedRequest is nginx's conventional status for requests
+// aborted by the client; net/http has no official constant for it.
+const statusClientClosedRequest = 499
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	stubs := s.store.List()
@@ -290,6 +342,32 @@ func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, stubSummary(stub))
 	}
+}
+
+// handleDelete withdraws a release and deletes its spill file — the
+// only way a spilled release's disk space is ever reclaimed.
+func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	err := s.store.Remove(id)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no release %q", id))
+	case err != nil:
+		// The release is withdrawn regardless; the error reports a spill
+		// file that could not be deleted.
+		httpError(w, http.StatusInternalServerError, err.Error())
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// handleMechanisms lists the registered publish mechanisms, so clients
+// can discover what the mechanism parameter accepts.
+func (s *Server) handleMechanisms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mechanisms": privelet.Mechanisms(),
+		"default":    s.defaultMech,
+	})
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, req *http.Request) {

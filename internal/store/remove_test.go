@@ -1,0 +1,169 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestRemoveInMemory(t *testing.T) {
+	s, err := New(Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("r1", testPayload(t, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("r1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Remove: %v, want ErrNotFound", err)
+	}
+	if _, err := s.Describe("r1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Describe after Remove: %v, want ErrNotFound", err)
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("Len after Remove = %d", n)
+	}
+	st := s.Stats()
+	if st.Removals != 1 || st.Resident != 0 {
+		t.Fatalf("stats after Remove: %+v", st)
+	}
+	if err := s.Remove("r1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Remove: %v, want ErrNotFound", err)
+	}
+	// The ID is free again.
+	if err := s.Put("r1", testPayload(t, 2), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveDeletesSpillFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, MaxResident: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := s.Put(fmt.Sprintf("r%d", i), testPayload(t, uint64(i)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// r1 was evicted (budget 1), so its only copy is the spill file.
+	for _, id := range []string{"r1", "r2", "r3"} {
+		if _, err := os.Stat(s.spillPath(id)); err != nil {
+			t.Fatalf("spill file for %s: %v", id, err)
+		}
+	}
+	if err := s.Remove("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("r3"); err != nil { // resident one
+		t.Fatal(err)
+	}
+	for _, id := range []string{"r1", "r3"} {
+		if _, err := os.Stat(s.spillPath(id)); !os.IsNotExist(err) {
+			t.Fatalf("spill file for removed %s still present (err=%v)", id, err)
+		}
+	}
+
+	// A store reopened on the directory recovers only the survivor:
+	// removal is durable.
+	s2, err := New(Config{Dir: dir, MaxResident: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.Len(); n != 1 {
+		t.Fatalf("recovered %d releases, want 1", n)
+	}
+	if _, err := s2.Get("r2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get("r1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("removed release recovered: %v", err)
+	}
+}
+
+// TestRemoveKeepsHeldReleasesValid: removal only drops the store's
+// references — a Release obtained before the removal keeps answering.
+func TestRemoveKeepsHeldReleasesValid(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("r1", testPayload(t, 3), 1); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := s.Get("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := probeQueries(t, rel.Payload.Schema)
+	before := counts(t, rel, qs)
+	if err := s.Remove("r1"); err != nil {
+		t.Fatal(err)
+	}
+	after := counts(t, rel, qs)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("held release changed answers after Remove: %v vs %v", before, after)
+		}
+	}
+}
+
+// TestRemoveConcurrentWithReadersAndEviction hammers Remove against
+// Get/Put/eviction under -race: accounting must stay consistent and no
+// operation may panic or corrupt another's entry.
+func TestRemoveConcurrentWithReadersAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, MaxResident: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ids = 8
+	var wg sync.WaitGroup
+	for g := 0; g < ids; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("c%d", g)
+			for iter := 0; iter < 20; iter++ {
+				if err := s.Put(id, testPayload(t, uint64(g)), 1); err != nil {
+					t.Errorf("Put %s: %v", id, err)
+					return
+				}
+				// Concurrent readers may see the release or ErrNotFound,
+				// nothing else.
+				if _, err := s.Get(id); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("Get %s: %v", id, err)
+					return
+				}
+				if err := s.Remove(id); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("Remove %s: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := s.Stats()
+	if st.Releases != 0 || st.Resident != 0 {
+		t.Fatalf("store not empty after churn: %+v", st)
+	}
+	// Every spill file must be gone too: Remove cleaned up even when it
+	// raced an in-flight write-through.
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirents {
+		t.Fatalf("orphan file after churn: %s", d.Name())
+	}
+}

@@ -123,6 +123,7 @@ type Stats struct {
 	Spilled     int   `json:"spilled"`
 	Evictions   int64 `json:"evictions"`
 	Reloads     int64 `json:"reloads"`
+	Removals    int64 `json:"removals"`
 }
 
 // Store is a sharded release store. The zero value is not usable;
@@ -139,6 +140,7 @@ type Store struct {
 	resident  atomic.Int64
 	evictions atomic.Int64
 	reloads   atomic.Int64
+	removals  atomic.Int64
 }
 
 type shard struct {
@@ -153,9 +155,11 @@ type entry struct {
 	id       string
 	stub     Stub
 	lastUsed atomic.Int64
-	// loadMu serializes reloads so a hot spilled release is decoded
-	// once, not once per waiting goroutine.
-	loadMu sync.Mutex
+	// ioMu serializes the entry's spill-file I/O: the write-through at
+	// Put, reloads (so a hot spilled release is decoded once, not once
+	// per waiting goroutine), and Remove's wait for an in-flight
+	// write-through to settle before the ID is declared reusable.
+	ioMu sync.Mutex
 
 	payload *codec.Payload
 	eval    *query.Evaluator
@@ -272,22 +276,99 @@ func (s *Store) Put(id string, p *codec.Payload, workers int) error {
 		return fmt.Errorf("store: duplicate release %q", id)
 	}
 	sh.entries[id] = e
+	// Holding ioMu across the write-through lets Remove wait for the
+	// rename (and any orphan cleanup) to settle before it returns — the
+	// point at which the ID becomes safe to reuse. The lock is fresh and
+	// uncontended here; ordering is always ioMu after the slot claim.
+	e.ioMu.Lock()
 	sh.mu.Unlock()
 	s.resident.Add(1)
+	defer e.ioMu.Unlock()
 	if s.cfg.Dir != "" {
 		if err := s.writeSpill(id, p); err != nil {
+			// Roll back only if the slot is still ours: a concurrent
+			// Remove may already have taken the entry out (and adjusted
+			// the resident count), in which case there is nothing to
+			// undo — the release is gone either way.
 			sh.mu.Lock()
-			delete(sh.entries, id)
+			if sh.entries[id] == e {
+				delete(sh.entries, id)
+				s.resident.Add(-1)
+			}
 			sh.mu.Unlock()
-			s.resident.Add(-1)
 			return err
 		}
 		sh.mu.Lock()
+		if sh.entries[id] != e {
+			// Removed while the write-through was in flight; the spill
+			// file just written is an orphan Remove could not see —
+			// delete it so a restart does not resurrect the release.
+			// The delete happens under the shard lock and only while the
+			// ID's slot is vacant, so it can never hit a successor Put's
+			// fresh file (claiming the slot requires this lock).
+			if sh.entries[id] == nil {
+				os.Remove(s.spillPath(id))
+			}
+			sh.mu.Unlock()
+			return nil
+		}
 		e.spilled = true
 		sh.mu.Unlock()
 	}
 	s.enforceBudget()
 	return nil
+}
+
+// Remove deletes the release under id: it is withdrawn from serving
+// immediately and its spill file (if any) is deleted, reclaiming the
+// disk space — the release-deletion path the spill directory needed to
+// stop growing forever. Removal is terminal even on error: once Remove
+// returns, the ID is free (a non-nil error means only that the disk file
+// may linger; recovery will re-register such a file after a restart, so
+// callers should retry the Remove then). Returns an error wrapping
+// ErrNotFound for unknown IDs.
+//
+// Concurrent readers are safe: a Get holding the Release keeps valid
+// pointers (removal only drops the store's references), and a Get racing
+// the removal either completes first or reports ErrNotFound.
+func (s *Store) Remove(id string) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	e := sh.entries[id]
+	if e == nil {
+		sh.mu.Unlock()
+		return fmt.Errorf("store: %q: %w", id, ErrNotFound)
+	}
+	delete(sh.entries, id)
+	resident := e.payload != nil
+	sh.mu.Unlock()
+	if resident {
+		s.resident.Add(-1)
+	}
+	s.removals.Add(1)
+	// Wait for an in-flight write-through to settle: Put holds ioMu from
+	// the slot claim until its rename (or orphan cleanup) is done, so
+	// after this acquisition the file state is final and no stale rename
+	// can land once Remove has returned — which is exactly when the ID
+	// becomes free for reuse.
+	e.ioMu.Lock()
+	spilled := e.spilled
+	e.ioMu.Unlock()
+	var fileErr error
+	if s.cfg.Dir != "" && spilled {
+		// Unlink under the shard lock, only while the slot is vacant: a
+		// successor Put (the ID is free from the caller's perspective
+		// the moment we return) claims the slot under the same lock, so
+		// the delete can never hit a successor's fresh file.
+		sh.mu.Lock()
+		if sh.entries[id] == nil {
+			if err := os.Remove(s.spillPath(id)); err != nil && !os.IsNotExist(err) {
+				fileErr = fmt.Errorf("store: removing spill file of %q: %w", id, err)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return fileErr
 }
 
 // Get returns the release under id, transparently reloading it from the
@@ -376,16 +457,22 @@ func (s *Store) Stats() Stats {
 		Spilled:     total - res,
 		Evictions:   s.evictions.Load(),
 		Reloads:     s.reloads.Load(),
+		Removals:    s.removals.Load(),
 	}
 }
 
 // reload brings a spilled entry back into memory. loadMu makes
 // concurrent Gets of the same release decode its file once.
 func (s *Store) reload(sh *shard, e *entry) (Release, error) {
-	e.loadMu.Lock()
-	defer e.loadMu.Unlock()
-	// Another goroutine may have finished the reload while we waited.
+	e.ioMu.Lock()
+	defer e.ioMu.Unlock()
+	// Another goroutine may have finished the reload — or a Remove may
+	// have deleted the release — while we waited.
 	sh.mu.RLock()
+	if sh.entries[e.id] != e {
+		sh.mu.RUnlock()
+		return Release{}, fmt.Errorf("store: %q: %w", e.id, ErrNotFound)
+	}
 	if e.payload != nil {
 		rel := Release{ID: e.id, Payload: e.payload, Eval: e.eval, Workers: e.stub.Workers}
 		sh.mu.RUnlock()
@@ -395,10 +482,21 @@ func (s *Store) reload(sh *shard, e *entry) (Release, error) {
 	sh.mu.RUnlock()
 	p, err := s.readSpill(e.id)
 	if err != nil {
+		if os.IsNotExist(err) {
+			// Remove won the race after our membership check and took
+			// the spill file with it.
+			return Release{}, fmt.Errorf("store: %q: %w", e.id, ErrNotFound)
+		}
 		return Release{}, fmt.Errorf("store: reloading %q: %w", e.id, err)
 	}
 	eval := query.NewEvaluator(p.Noisy)
 	sh.mu.Lock()
+	if sh.entries[e.id] != e {
+		// Removed between the read and the install: do not resurrect the
+		// payload on a dead entry (the resident count no longer tracks it).
+		sh.mu.Unlock()
+		return Release{}, fmt.Errorf("store: %q: %w", e.id, ErrNotFound)
+	}
 	e.payload, e.eval = p, eval
 	sh.mu.Unlock()
 	e.touch(s)
@@ -451,9 +549,11 @@ func (s *Store) evictOne() bool {
 		return false
 	}
 	victimShard.mu.Lock()
-	if victim.payload == nil || !victim.spilled {
-		// Lost a race with another evictor, which already adjusted the
-		// accounting; report progress so the budget loop re-checks.
+	if victimShard.entries[victim.id] != victim || victim.payload == nil || !victim.spilled {
+		// Lost a race with another evictor or with Remove, which already
+		// adjusted the accounting (evicting a removed entry would double-
+		// decrement the resident count); report progress so the budget
+		// loop re-checks.
 		victimShard.mu.Unlock()
 		return true
 	}

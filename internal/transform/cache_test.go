@@ -1,0 +1,115 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestKernelCacheBitIdentical proves that a cached exec produces the
+// same bits as the uncached serial path at several worker counts.
+func TestKernelCacheBitIdentical(t *testing.T) {
+	hn := testHN(t)
+	m := randomInput(t, hn, 7)
+	wantC, err := hn.Forward(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRec, err := hn.Inverse(wantC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		ex := Exec{Workers: workers, Pipe: matrix.NewPipeline(), Cache: hn.NewKernelCache(workers)}
+		for pass := 0; pass < 3; pass++ {
+			c, err := hn.ForwardExec(m, ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d, _ := wantC.MaxAbsDiff(c); d != 0 {
+				t.Fatalf("workers=%d pass=%d: cached forward diverged by %v", workers, pass, d)
+			}
+			rec, err := hn.InverseExec(c, ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d, _ := wantRec.MaxAbsDiff(rec); d != 0 {
+				t.Fatalf("workers=%d pass=%d: cached inverse diverged by %v", workers, pass, d)
+			}
+		}
+	}
+}
+
+// TestKernelCacheReuse is the zero-alloc claim in cache form: after the
+// first forward+inverse pass has built every kernel a worker needs,
+// later passes construct none.
+func TestKernelCacheReuse(t *testing.T) {
+	hn := testHN(t)
+	m := randomInput(t, hn, 11)
+	for _, workers := range []int{1, 3} {
+		ex := Exec{Workers: workers, Pipe: matrix.NewPipeline(), Cache: hn.NewKernelCache(workers)}
+		pass := func() {
+			c, err := hn.ForwardExec(m, ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := hn.InverseExec(c, ex); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pass()
+		warm := ex.Cache.Built()
+		if warm == 0 {
+			t.Fatalf("workers=%d: warm cache reports zero kernels built", workers)
+		}
+		// ceiling: ≤ dims × workers × 2 directions.
+		if maxBuilt := hn.NumDims() * workers * 2; warm > maxBuilt {
+			t.Fatalf("workers=%d: built %d kernels, max expected %d", workers, warm, maxBuilt)
+		}
+		for i := 0; i < 5; i++ {
+			pass()
+		}
+		if got := ex.Cache.Built(); got != warm {
+			t.Fatalf("workers=%d: steady-state passes built %d new kernels", workers, got-warm)
+		}
+	}
+}
+
+// TestKernelCacheForeignHN: a cache constructed by one transform must be
+// rejected by another — its scratch sizes would be wrong.
+func TestKernelCacheForeignHN(t *testing.T) {
+	a := mustHN(t, Ordinal(8))
+	b := mustHN(t, Ordinal(16))
+	m := randomInput(t, a, 1)
+	ex := Exec{Workers: 1, Cache: b.NewKernelCache(1)}
+	if _, err := a.ForwardExec(m, ex); err == nil {
+		t.Fatal("ForwardExec accepted a cache from a different HN")
+	}
+	c, err := a.Forward(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.InverseExec(c, ex); err == nil {
+		t.Fatal("InverseExec accepted a cache from a different HN")
+	}
+}
+
+// TestKernelCacheOverflowWorkers: worker indices beyond the cache's cap
+// must fall back to fresh kernels, not fail or corrupt.
+func TestKernelCacheOverflowWorkers(t *testing.T) {
+	hn := testHN(t)
+	m := randomInput(t, hn, 3)
+	want, err := hn.Forward(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache sized for 1 worker, exec fanning to 4: workers 1..3 overflow.
+	ex := Exec{Workers: 4, Cache: hn.NewKernelCache(1)}
+	got, err := hn.ForwardExec(m, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := want.MaxAbsDiff(got); d != 0 {
+		t.Fatalf("overflow workers diverged by %v", d)
+	}
+}

@@ -26,6 +26,7 @@ package transform
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/haar"
 	"repro/internal/hierarchy"
@@ -172,6 +173,12 @@ type Exec struct {
 	// it is invalidated by the next pass using the same pipeline, and the
 	// pipeline must not be shared between goroutines.
 	Pipe *matrix.Pipeline
+	// Cache, when non-nil, reuses kernel instances (and their scratch
+	// slices) across successive passes instead of rebuilding them per
+	// pass — the last per-sub-matrix allocations of the publish engine.
+	// It must come from the same HN's NewKernelCache, sized for at least
+	// Workers, and like Pipe must not be shared between goroutines.
+	Cache *KernelCache
 }
 
 // apply runs one ApplyAlong step under the exec policy.
@@ -180,6 +187,77 @@ func (ex Exec) apply(m *matrix.Matrix, dim, newSize int, factory matrix.KernelFa
 		return ex.Pipe.ApplyAlong(m, dim, newSize, ex.Workers, factory)
 	}
 	return m.ApplyAlongPool(dim, newSize, ex.Workers, factory)
+}
+
+// KernelCache memoizes kernel instances per (dimension, direction,
+// worker) so a worker that processes many sub-matrices through the same
+// transform builds each kernel's scratch once, not once per sub-matrix.
+// Construct with HN.NewKernelCache. A cache belongs to one HN and one
+// goroutine's Exec (its slots are written by the ApplyAlong workers the
+// exec spawns, ordered through that goroutine); sharing a cache between
+// concurrently executing passes is a data race.
+type KernelCache struct {
+	owner    *HN
+	fwd, inv [][]matrix.VecFunc // [dimension][worker]
+	// built counts kernel instances constructed (for tests/stats); it is
+	// atomic because concurrent workers of one pass may construct their
+	// kernels simultaneously.
+	built atomic.Int64
+}
+
+// NewKernelCache returns a cache for passes over t with up to `workers`
+// ApplyAlong workers (values < 1 are treated as 1; worker indices beyond
+// the cap fall back to uncached construction rather than failing).
+func (t *HN) NewKernelCache(workers int) *KernelCache {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &KernelCache{owner: t, fwd: make([][]matrix.VecFunc, len(t.dims)), inv: make([][]matrix.VecFunc, len(t.dims))}
+	for i := range t.dims {
+		c.fwd[i] = make([]matrix.VecFunc, workers)
+		c.inv[i] = make([]matrix.VecFunc, workers)
+	}
+	return c
+}
+
+// Built reports how many kernel instances the cache has constructed; a
+// steady-state pass over a warm cache leaves it unchanged.
+func (c *KernelCache) Built() int { return int(c.built.Load()) }
+
+// cached wraps factory so worker w reuses slots[w] across passes.
+func (c *KernelCache) cached(slots []matrix.VecFunc, factory matrix.KernelFactory) matrix.KernelFactory {
+	return func(w int) matrix.VecFunc {
+		if w < 0 || w >= len(slots) {
+			return factory(w)
+		}
+		if slots[w] == nil {
+			slots[w] = factory(w)
+			c.built.Add(1)
+		}
+		return slots[w]
+	}
+}
+
+// kernel resolves dimension i's kernel factory under the exec policy,
+// memoized through ex.Cache when one is set.
+func (t *HN) kernel(i int, inverse bool, ex Exec) (matrix.KernelFactory, error) {
+	var factory matrix.KernelFactory
+	if inverse {
+		factory = t.inverseKernel(i)
+	} else {
+		factory = t.forwardKernel(i)
+	}
+	if ex.Cache == nil {
+		return factory, nil
+	}
+	if ex.Cache.owner != t {
+		return nil, fmt.Errorf("transform: Exec.Cache belongs to a different HN")
+	}
+	slots := ex.Cache.fwd[i]
+	if inverse {
+		slots = ex.Cache.inv[i]
+	}
+	return ex.Cache.cached(slots, factory), nil
 }
 
 // Forward applies the HN transform to M and returns the coefficient
@@ -199,7 +277,7 @@ func (t *HN) forwardKernel(i int) matrix.KernelFactory {
 	case KindOrdinal:
 		// ForwardPaddedIntoScratch zero-extends src to d.padded in its
 		// own scratch, so the unpadded and padded cases share one kernel.
-		return func() matrix.VecFunc {
+		return func(int) matrix.VecFunc {
 			scratch := make([]float64, d.padded)
 			return func(src, dst []float64) {
 				haar.ForwardPaddedIntoScratch(src, dst, scratch)
@@ -207,7 +285,7 @@ func (t *HN) forwardKernel(i int) matrix.KernelFactory {
 		}
 	default: // KindNominal, validated in New
 		nt := d.nom
-		return func() matrix.VecFunc {
+		return func(int) matrix.VecFunc {
 			scratch := make([]float64, d.coeffs)
 			return func(src, dst []float64) {
 				nt.ForwardIntoScratch(src, dst, scratch)
@@ -226,8 +304,11 @@ func (t *HN) ForwardExec(m *matrix.Matrix, ex Exec) (*matrix.Matrix, error) {
 	}
 	cur := m
 	for i, d := range t.dims {
-		var err error
-		cur, err = ex.apply(cur, i, d.coeffs, t.forwardKernel(i))
+		factory, err := t.kernel(i, false, ex)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = ex.apply(cur, i, d.coeffs, factory)
 		if err != nil {
 			return nil, fmt.Errorf("transform: forward dimension %d: %w", i, err)
 		}
@@ -250,7 +331,7 @@ func (t *HN) inverseKernel(i int) matrix.KernelFactory {
 	d := t.dims[i]
 	switch d.spec.Kind {
 	case KindOrdinal:
-		return func() matrix.VecFunc {
+		return func(int) matrix.VecFunc {
 			padded := make([]float64, d.padded)
 			return func(src, dst []float64) {
 				haar.InverseInto(src, padded)
@@ -259,7 +340,7 @@ func (t *HN) inverseKernel(i int) matrix.KernelFactory {
 		}
 	default: // KindNominal, validated in New
 		nt := d.nom
-		return func() matrix.VecFunc {
+		return func(int) matrix.VecFunc {
 			coeffs := make([]float64, d.coeffs)
 			sums := make([]float64, d.coeffs)
 			return func(src, dst []float64) {
@@ -285,8 +366,11 @@ func (t *HN) InverseExec(c *matrix.Matrix, ex Exec) (*matrix.Matrix, error) {
 	}
 	cur := c
 	for i := len(t.dims) - 1; i >= 0; i-- {
-		var err error
-		cur, err = ex.apply(cur, i, t.dims[i].size, t.inverseKernel(i))
+		factory, err := t.kernel(i, true, ex)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = ex.apply(cur, i, t.dims[i].size, factory)
 		if err != nil {
 			return nil, fmt.Errorf("transform: inverse dimension %d: %w", i, err)
 		}

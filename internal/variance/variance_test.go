@@ -1,6 +1,7 @@
 package variance
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,7 +24,7 @@ func monteCarlo(t *testing.T, schema *dataset.Schema, epsilon float64, sa []stri
 	}
 	var sumSq float64
 	for i := 0; i < trials; i++ {
-		res, err := core.PublishMatrix(m, schema, core.Options{Epsilon: epsilon, SA: sa, Seed: uint64(1000 + i)})
+		res, err := core.PublishMatrix(context.Background(), m, schema, core.Options{Epsilon: epsilon, SA: sa, Seed: uint64(1000 + i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +190,7 @@ func TestExactBelowWorstCaseBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.PublishMatrix(m, s, core.Options{Epsilon: 1, Seed: 1})
+	res, err := core.PublishMatrix(context.Background(), m, s, core.Options{Epsilon: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,435 @@
+package privelet_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	privelet "repro"
+)
+
+// histSchema returns a one-dimensional schema every mechanism (including
+// "hay") accepts.
+func histSchema(t testing.TB, size int) *privelet.Schema {
+	t.Helper()
+	schema, err := privelet.NewSchema(privelet.OrdinalAttr("Age", size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+func histFrequency(t testing.TB, size int, rows []int) *privelet.Frequency {
+	t.Helper()
+	pub, err := privelet.NewPublisher(histSchema(t, size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := pub.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pub.Frequency()
+}
+
+func TestMechanismRegistryNames(t *testing.T) {
+	got := privelet.Mechanisms()
+	want := []string{"basic", "hay", "privelet", "privelet+"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Mechanisms() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		m, err := privelet.MechanismByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != name {
+			t.Fatalf("mechanism %q reports Name() = %q", name, m.Name())
+		}
+	}
+}
+
+func TestMechanismUnknownName(t *testing.T) {
+	_, err := privelet.MechanismByName("fourier")
+	if err == nil {
+		t.Fatal("lookup of unknown mechanism succeeded")
+	}
+	// The error doubles as a user-facing message: it must name the
+	// offender and list what is available.
+	for _, frag := range []string{"fourier", "privelet+", "basic", "hay"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
+		}
+	}
+	if _, err := privelet.PublishWith(context.Background(), "fourier", histFrequency(t, 8, nil), privelet.Params{Epsilon: 1}); err == nil {
+		t.Fatal("PublishWith accepted an unknown mechanism")
+	}
+}
+
+// renamedMech wraps a registered mechanism under a new name, for
+// registration tests.
+type renamedMech struct {
+	privelet.Mechanism
+	name string
+}
+
+func (m renamedMech) Name() string { return m.name }
+
+func TestRegisterMechanism(t *testing.T) {
+	base, err := privelet.MechanismByName("basic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := privelet.RegisterMechanism(renamedMech{base, ""}); err == nil {
+		t.Fatal("registered a mechanism with an empty name")
+	}
+	// Names travel through CLI flags, query params (where the server maps
+	// spaces back to '+') and the codec header: whitespace must be
+	// rejected at registration.
+	for _, bad := range []string{"my mech", "tab\tname", "line\nname"} {
+		if err := privelet.RegisterMechanism(renamedMech{base, bad}); err == nil {
+			t.Fatalf("registered mechanism with whitespace name %q", bad)
+		}
+	}
+	if err := privelet.RegisterMechanism(renamedMech{base, "basic"}); err == nil {
+		t.Fatal("registered a duplicate mechanism name")
+	}
+	// A fresh name registers and resolves; registration is process-wide,
+	// so pick one no other test uses.
+	if err := privelet.RegisterMechanism(renamedMech{base, "basic-alias-for-test"}); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := privelet.PublishWith(context.Background(), "basic-alias-for-test",
+		histFrequency(t, 8, []int{1, 2, 3}), privelet.Params{Epsilon: 1e9, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Mechanism() != "basic-alias-for-test" {
+		t.Fatalf("release mechanism = %q", rel.Mechanism())
+	}
+}
+
+// TestAllMechanismsPublishAndRoundTrip publishes the same histogram
+// through every registered built-in and round-trips each release through
+// the codec: counts answer sanely and the mechanism name survives.
+func TestAllMechanismsPublishAndRoundTrip(t *testing.T) {
+	rows := []int{0, 1, 1, 2, 3, 3, 3, 7}
+	for _, name := range []string{"basic", "hay", "privelet", "privelet+"} {
+		freq := histFrequency(t, 8, rows)
+		rel, err := privelet.PublishWith(context.Background(), name, freq, privelet.Params{Epsilon: 1e9, Seed: 42})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rel.Mechanism() != name {
+			t.Fatalf("%s: release mechanism = %q", name, rel.Mechanism())
+		}
+		q, err := rel.NewQuery().Range("Age", 0, 3).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, err := rel.Count(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(count-7) > 1e-3 {
+			t.Fatalf("%s: count = %v, want ~7 (ε huge)", name, count)
+		}
+		var buf bytes.Buffer
+		if err := rel.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		loaded, err := privelet.Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if loaded.Mechanism() != name {
+			t.Fatalf("%s: loaded mechanism = %q", name, loaded.Mechanism())
+		}
+		lcount, err := loaded.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lcount != count {
+			t.Fatalf("%s: loaded count %v != original %v", name, lcount, count)
+		}
+	}
+}
+
+// TestCompatWrappersMatchRegistry pins the compatibility contract: the
+// legacy entry points are bit-identical to their registry equivalents.
+func TestCompatWrappersMatchRegistry(t *testing.T) {
+	gender, err := privelet.FlatHierarchy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := privelet.NewSchema(
+		privelet.OrdinalAttr("Age", 13),
+		privelet.NominalAttr("Gender", gender),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := privelet.NewTable(schema)
+	pub, err := privelet.NewPublisher(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		row := []int{(i * 7) % 13, i % 2}
+		if err := table.Append(row...); err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Add(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	old, err := privelet.Publish(table, privelet.Options{Epsilon: 0.5, SA: []string{"Gender"}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	via, err := pub.Publish(context.Background(), "privelet+", privelet.Params{Epsilon: 0.5, SA: []string{"Gender"}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := old.Matrix().MaxAbsDiff(via.Matrix()); d != 0 {
+		t.Fatalf("Publish vs registry privelet+ diverged by %v", d)
+	}
+	if old.Mechanism() != via.Mechanism() || old.VarianceBound() != via.VarianceBound() ||
+		old.Lambda() != via.Lambda() || old.Sensitivity() != via.Sensitivity() {
+		t.Fatalf("accounting diverged: %v vs %v", old, via)
+	}
+
+	oldBasic, err := privelet.PublishBasic(table, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBasic, err := pub.Publish(context.Background(), "basic", privelet.Params{Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := oldBasic.Matrix().MaxAbsDiff(viaBasic.Matrix()); d != 0 {
+		t.Fatalf("PublishBasic vs registry basic diverged by %v", d)
+	}
+
+	// Plain privelet == privelet+ with empty SA.
+	plain, err := pub.Publish(context.Background(), "privelet", privelet.Params{Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, err := pub.Publish(context.Background(), "privelet+", privelet.Params{Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := plain.Matrix().MaxAbsDiff(plus.Matrix()); d != 0 {
+		t.Fatalf("privelet vs privelet+ (no SA) diverged by %v", d)
+	}
+}
+
+func TestMechanismSARejection(t *testing.T) {
+	freq := histFrequency(t, 8, []int{1})
+	p := privelet.Params{Epsilon: 1, SA: []string{"Age"}, Seed: 1}
+	for _, name := range []string{"privelet", "basic", "hay"} {
+		if _, err := privelet.PublishWith(context.Background(), name, freq, p); err == nil {
+			t.Fatalf("mechanism %q accepted SA", name)
+		}
+	}
+}
+
+// TestValidateParamsPreIngest: every built-in offers the data-free
+// pre-ingest check, and it agrees with Publish-time validation.
+func TestValidateParamsPreIngest(t *testing.T) {
+	schema := histSchema(t, 8)
+	for _, c := range []struct {
+		mech string
+		p    privelet.Params
+		ok   bool
+	}{
+		{"privelet+", privelet.Params{Epsilon: 1, SA: []string{"Age"}}, true},
+		{"privelet+", privelet.Params{Epsilon: 1, SA: []string{"ghost"}}, false},
+		{"privelet+", privelet.Params{Epsilon: 1, SA: []string{"Age", "Age"}}, false},
+		{"privelet+", privelet.Params{Epsilon: 0}, false},
+		{"privelet", privelet.Params{Epsilon: 1, SA: []string{"Age"}}, false},
+		{"basic", privelet.Params{Epsilon: 1, SA: []string{"Age"}}, false},
+		{"basic", privelet.Params{Epsilon: 1}, true},
+		{"hay", privelet.Params{Epsilon: 1}, true},
+		{"hay", privelet.Params{Epsilon: -1}, false},
+	} {
+		m, err := privelet.MechanismByName(c.mech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = privelet.ValidateParams(m, schema, c.p)
+		if (err == nil) != c.ok {
+			t.Fatalf("%s %+v: err = %v, want ok=%v", c.mech, c.p, err, c.ok)
+		}
+	}
+	// hay on a 2-D schema fails the pre-ingest check too.
+	gender, err := privelet.FlatHierarchy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoD, err := privelet.NewSchema(privelet.OrdinalAttr("Age", 4), privelet.NominalAttr("Gender", gender))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hayMech, err := privelet.MechanismByName("hay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := privelet.ValidateParams(hayMech, twoD, privelet.Params{Epsilon: 1}); err == nil {
+		t.Fatal("hay pre-ingest check accepted a 2-D schema")
+	}
+}
+
+func TestHayMechanismOneDimensional(t *testing.T) {
+	gender, err := privelet.FlatHierarchy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := privelet.NewSchema(privelet.OrdinalAttr("Age", 4), privelet.NominalAttr("Gender", gender))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := privelet.NewPublisher(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(context.Background(), "hay", privelet.Params{Epsilon: 1}); err == nil {
+		t.Fatal("hay accepted a 2-D schema")
+	}
+
+	// 1-D: the release must agree with the PublishHistogram wrapper.
+	rows := []int{0, 0, 1, 2, 2, 2, 3}
+	rel, err := privelet.PublishWith(context.Background(), "hay",
+		histFrequency(t, 4, rows), privelet.Params{Epsilon: 1, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := privelet.PublishHistogram([]float64{2, 1, 3, 1}, 1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range hist {
+		if got := rel.Matrix().Data()[i]; got != want {
+			t.Fatalf("entry %d: mechanism %v != wrapper %v", i, got, want)
+		}
+	}
+	if rel.VarianceBound() <= 0 || math.IsInf(rel.VarianceBound(), 1) {
+		t.Fatalf("hay variance bound = %v", rel.VarianceBound())
+	}
+}
+
+// TestPublishCancelledBeforeStart: an already-cancelled context fails
+// every mechanism without publishing.
+func TestPublishCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	freq := histFrequency(t, 64, []int{1, 5, 9})
+	for _, name := range []string{"basic", "hay", "privelet", "privelet+"} {
+		_, err := privelet.PublishWith(ctx, name, freq, privelet.Params{Epsilon: 1, Seed: 1})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestPublishCancellationMidFlight cancels a many-sub-matrix publish
+// while it is running and checks that it aborts with the context error
+// and leaks no goroutines (the CI run repeats this under -race).
+func TestPublishCancellationMidFlight(t *testing.T) {
+	gender, err := privelet.FlatHierarchy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := privelet.NewSchema(
+		privelet.OrdinalAttr("Income", 2048),
+		privelet.OrdinalAttr("Block", 64),
+		privelet.NominalAttr("Gender", gender),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := privelet.NewPublisher(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	// 64×2 = 128 sub-matrices (SA = Block, Gender): plenty of
+	// cancellation points for the fan-out workers.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := pub.Publish(ctx, "privelet+", privelet.Params{
+			Epsilon: 1, SA: []string{"Block", "Gender"}, Seed: 3, Parallelism: 4,
+		})
+		done <- err
+	}()
+	// Let the publish get going, then pull the plug. If it already
+	// finished, the error is nil and the test still verifies no leak.
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("publish error = %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled publish did not return")
+	}
+
+	// Publish joins its workers before returning, so the goroutine count
+	// must settle back to the baseline (give the runtime a moment).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The Publisher is still usable after an aborted publish.
+	if err := pub.Add(1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(context.Background(), "basic", privelet.Params{Epsilon: 1e9, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrequencyValidation covers NewFrequency's shape checks.
+func TestFrequencyValidation(t *testing.T) {
+	schema := histSchema(t, 8)
+	other := histSchema(t, 16)
+	pub, err := privelet.NewPublisher(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := privelet.NewFrequency(schema, pub.Frequency().M); err == nil {
+		t.Fatal("NewFrequency accepted a mis-shaped matrix")
+	}
+	if _, err := privelet.NewFrequency(nil, nil); err == nil {
+		t.Fatal("NewFrequency accepted nils")
+	}
+	f, err := privelet.NewFrequency(other, pub.Frequency().M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != other {
+		t.Fatal("NewFrequency rebound the schema")
+	}
+	if _, err := privelet.PublishWith(context.Background(), "basic", nil, privelet.Params{Epsilon: 1}); err == nil {
+		t.Fatal("PublishWith accepted a nil frequency")
+	}
+}

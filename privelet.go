@@ -1,16 +1,14 @@
 package privelet
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/hay"
 	"repro/internal/hierarchy"
 	"repro/internal/matrix"
-	"repro/internal/postprocess"
-	"repro/internal/privacy"
 	"repro/internal/query"
 )
 
@@ -58,7 +56,9 @@ func ThreeLevelHierarchy(groups, leavesPerGroup int) (*Hierarchy, error) {
 // BuildHierarchy validates a hand-constructed hierarchy tree.
 func BuildHierarchy(root *HierarchyNode) (*Hierarchy, error) { return hierarchy.Build(root) }
 
-// Options configures Publish.
+// Options configures the legacy Publish wrapper. New code should use
+// Params with PublishWith or Publisher.Publish; the fields correspond
+// one-to-one.
 type Options struct {
 	// Epsilon is the ε-differential-privacy budget (must be positive).
 	Epsilon float64
@@ -92,55 +92,39 @@ type Release struct {
 
 // Publish releases the table's frequency matrix under ε-differential
 // privacy with Privelet+ (the paper's Figure 5). It runs in O(n + m).
+//
+// It is a compatibility wrapper over the Mechanism API: exactly
+// PublishWith(ctx, "privelet+", TableFrequency(t), Params{...}) with a
+// background context. New code that streams rows, selects mechanisms by
+// name, or needs cancellation should use Publisher/PublishWith directly.
 func Publish(t *Table, opts Options) (*Release, error) {
-	res, err := core.Publish(t, core.Options{
-		Epsilon: opts.Epsilon, SA: opts.SA, Seed: opts.Seed, Parallelism: opts.Parallelism,
-	})
+	freq, err := TableFrequency(t)
 	if err != nil {
 		return nil, err
 	}
-	noisy := res.Noisy
-	if opts.Sanitize {
-		noisy = postprocess.Sanitize(noisy)
-	}
-	return &Release{
-		schema:  t.Schema(),
-		noisy:   noisy,
-		eval:    query.NewEvaluator(noisy),
-		eps:     res.Epsilon,
-		rho:     res.Rho,
-		lambda:  res.Lambda,
-		bound:   res.VarianceBound,
-		machine: "privelet+",
-	}, nil
+	return PublishWith(context.Background(), "privelet+", freq, Params{
+		Epsilon: opts.Epsilon, SA: opts.SA, Seed: opts.Seed,
+		Parallelism: opts.Parallelism, Sanitize: opts.Sanitize,
+	})
 }
 
 // PublishBasic releases with Dwork et al.'s Basic mechanism: independent
-// Laplace(2/ε) noise per entry. Equivalent to Publish with SA = all
-// attributes; provided for symmetry with the paper's evaluation.
+// Laplace(2/ε) noise per entry. Compatibility wrapper over the "basic"
+// registry mechanism; equivalent to Publish with SA = all attributes.
 func PublishBasic(t *Table, epsilon float64, seed uint64) (*Release, error) {
-	res, err := baseline.BasicTable(t, epsilon, seed)
+	freq, err := TableFrequency(t)
 	if err != nil {
 		return nil, err
 	}
-	return &Release{
-		schema:  t.Schema(),
-		noisy:   res.Noisy,
-		eval:    query.NewEvaluator(res.Noisy),
-		eps:     epsilon,
-		rho:     1,
-		lambda:  res.Magnitude,
-		bound:   privacy.BasicVarianceBound(epsilon, t.Schema().DomainSize()),
-		machine: "basic",
-	}, nil
+	return PublishWith(context.Background(), "basic", freq, Params{Epsilon: epsilon, Seed: seed})
 }
 
 // PublishHistogram releases a one-dimensional histogram with the Hay et
-// al. hierarchical-consistency mechanism (an extension beyond the paper's
-// own mechanisms; see internal/hay). Returned as a plain slice because
-// the mechanism is one-dimensional by construction.
+// al. hierarchical-consistency mechanism — the "hay" registry mechanism,
+// kept as a slice-in/slice-out convenience because the mechanism is
+// one-dimensional by construction.
 func PublishHistogram(v []float64, epsilon float64, seed uint64) ([]float64, error) {
-	res, err := hay.Publish(v, epsilon, seed)
+	res, err := hay.Publish(context.Background(), v, epsilon, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +162,10 @@ func (r *Release) Lambda() float64 { return r.lambda }
 // range-count query answered from this release.
 func (r *Release) VarianceBound() float64 { return r.bound }
 
-// Mechanism names the publishing mechanism ("privelet+" or "basic").
+// Mechanism names the publishing mechanism, as registered (one of
+// Mechanisms(), e.g. "privelet+", "privelet", "basic", "hay"). The name
+// travels with the release through Save/Load, the daemon's store, and
+// the /export endpoint.
 func (r *Release) Mechanism() string { return r.machine }
 
 // String summarizes the release.

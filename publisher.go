@@ -1,0 +1,95 @@
+package privelet
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Publisher accumulates rows directly into a frequency matrix and
+// publishes it through any registered mechanism. It is the streaming
+// ingest path: where a Table buffers all n tuples (O(n) memory) before
+// FrequencyMatrix folds them, a Publisher folds each row the moment it
+// arrives, so memory stays O(domain) — a billion-row CSV publishes
+// through the same fixed-size matrix as a thousand-row one. Add performs
+// no allocation, making the per-row cost a bounds check and one
+// increment.
+//
+// A Publisher is not safe for concurrent use; give each ingest goroutine
+// its own and sum the matrices, or serialize Adds externally.
+type Publisher struct {
+	freq    *Frequency
+	strides []int
+	rows    int
+}
+
+// NewPublisher returns a Publisher over schema with all counts zero.
+func NewPublisher(schema *Schema) (*Publisher, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("privelet: nil schema")
+	}
+	m, err := matrix.New(schema.Dims()...)
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{freq: &Frequency{Schema: schema, M: m}, strides: matrix.Strides(schema.Dims())}, nil
+}
+
+// Add folds one row into the frequency matrix; vals[i] must lie in
+// [0, |A_i|). It allocates nothing.
+func (p *Publisher) Add(vals ...int) error {
+	if len(vals) != len(p.strides) {
+		return fmt.Errorf("privelet: row has %d values, want %d", len(vals), len(p.strides))
+	}
+	off := 0
+	for i, v := range vals {
+		if a := p.freq.Schema.Attr(i); v < 0 || v >= a.Size {
+			return fmt.Errorf("privelet: value %d out of domain [0,%d) for attribute %q", v, a.Size, a.Name)
+		}
+		off += v * p.strides[i]
+	}
+	p.freq.M.Data()[off]++
+	p.rows++
+	return nil
+}
+
+// AddBatch folds a batch of rows; on error the earlier rows of the batch
+// remain folded (the reported row index is batch-relative).
+func (p *Publisher) AddBatch(rows [][]int) error {
+	for i, row := range rows {
+		if err := p.Add(row...); err != nil {
+			return fmt.Errorf("privelet: batch row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// AddTable folds every tuple of a buffered table, for callers migrating
+// from the Table-based API.
+func (p *Publisher) AddTable(t *Table) error {
+	row := make([]int, t.Schema().NumAttrs())
+	for i := 0; i < t.Len(); i++ {
+		t.Row(i, row)
+		if err := p.Add(row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows returns how many rows have been folded in (the table size n).
+func (p *Publisher) Rows() int { return p.rows }
+
+// Frequency returns the accumulated frequency matrix. The Publisher
+// retains it: rows added afterwards keep mutating the same matrix, so
+// take the Frequency when ingest is done (or Clone the matrix).
+func (p *Publisher) Frequency() *Frequency { return p.freq }
+
+// Publish releases the accumulated counts through the named mechanism
+// (see Mechanisms for the registry). The privacy budget is spent per
+// call: publishing the same Publisher twice spends 2ε in total under
+// sequential composition.
+func (p *Publisher) Publish(ctx context.Context, mechanism string, params Params) (*Release, error) {
+	return PublishWith(ctx, mechanism, p.freq, params)
+}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# lint.sh — staticcheck gate. Uses the staticcheck on PATH when present;
+# otherwise installs a pinned version (so CI runs are reproducible) into
+# GOBIN and uses that. Run locally as scripts/lint.sh.
+set -eu
+cd "$(dirname "$0")/.."
+
+STATICCHECK_VERSION="2025.1.1"
+
+if command -v staticcheck >/dev/null 2>&1; then
+    bin=staticcheck
+else
+    gobin="$(go env GOPATH)/bin"
+    bin="$gobin/staticcheck"
+    if [ ! -x "$bin" ]; then
+        echo "lint: installing staticcheck@$STATICCHECK_VERSION ..." >&2
+        go install "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION"
+    fi
+fi
+
+"$bin" ./...
+echo "lint: staticcheck clean"
