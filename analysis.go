@@ -33,7 +33,10 @@ func BestSA(schema *Schema, epsilon float64, workload []Query) ([]string, Worklo
 // frequency matrix onto a subset of attributes).
 type Marginal = marginal.Release
 
-// MarginalOptions configures PublishMarginals.
+// MarginalOptions configures PublishMarginals. Its Parallelism field caps
+// each marginal's publish workers; like every parallelism knob in this
+// module it never affects release values (see docs/ARCHITECTURE.md for
+// the determinism contract).
 type MarginalOptions = marginal.Options
 
 // PublishMarginals releases one noisy marginal per attribute list under a

@@ -197,7 +197,7 @@ func BenchmarkAblationSmallDomain(b *testing.B) {
 		var basicSq, privSq float64
 		for t := 0; t < trials; t++ {
 			seed := uint64(i*trials + t)
-			bres, err := baseline.Basic(context.Background(), m, 1.0, seed)
+			bres, err := baseline.Basic(context.Background(), m, 1.0, seed, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -530,6 +530,81 @@ func BenchmarkPublishSpeedup(b *testing.B) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }
 
+// BenchmarkInjectLaplace measures the Laplace injection passes — the
+// stage PR 4 parallelized — at fixed worker counts on a multi-chunk
+// domain (16 × 64Ki entries = 1M draws per op). Uniform is the Basic
+// mechanism's pass; weighted is Privelet's per-coefficient λ/W pass.
+// Output is bit-identical across worker counts, so the counts differ
+// only in wall clock (see BENCH_publish.json for the recorded baseline
+// and the 1-core-container caveat).
+func BenchmarkInjectLaplace(b *testing.B) {
+	const n = 16 * privacy.NoiseChunk
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("uniform/workers=%d", workers), func(b *testing.B) {
+			m := matrix.MustNew(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := privacy.InjectLaplaceUniformCtx(context.Background(), m, 2, uint64(i), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	wv := [][]float64{make([]float64, 16), make([]float64, privacy.NoiseChunk)}
+	for i := range wv[0] {
+		wv[0][i] = float64(1 + i%5)
+	}
+	for i := range wv[1] {
+		wv[1][i] = float64(1 + i%9)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("weighted/workers=%d", workers), func(b *testing.B) {
+			m := matrix.MustNew(16, privacy.NoiseChunk)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := privacy.InjectLaplaceCtx(context.Background(), m, wv, 2, uint64(i), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrefixSum measures the summed-area-table build — the query
+// evaluator's whole cost, and the dominant cost of reloading a spilled
+// release — serial vs pooled, on the 4-D census shape and on a flat 1M
+// histogram (whose single long scan cannot parallelize without breaking
+// bit-identity, so it pins the pool's no-overhead property instead).
+func BenchmarkPrefixSum(b *testing.B) {
+	census, _ := benchCensusMatrix(b)
+	shapes := []struct {
+		name string
+		m    *matrix.Matrix
+	}{
+		{"census4d", census},
+		{"hist1m", matrix.MustNew(1 << 20)},
+	}
+	for _, sh := range shapes {
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("%s/workers=%d", sh.name, workers), func(b *testing.B) {
+				// Restore the source values (untimed) before every pass:
+				// prefix-summing the same buffer repeatedly would compound
+				// the entries toward +Inf and measure a different matrix
+				// than the one the benchmark claims.
+				work := sh.m.Clone()
+				src := sh.m.Data()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					copy(work.Data(), src)
+					b.StartTimer()
+					work.PrefixSumExec(workers)
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkBasicPublishCensusSmall(b *testing.B) {
 	tbl, err := dataset.GenerateCensus(dataset.BrazilSpec(dataset.ScaleSmall), 50_000, 7)
 	if err != nil {
@@ -541,7 +616,7 @@ func BenchmarkBasicPublishCensusSmall(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := baseline.Basic(context.Background(), m, 1, uint64(i)); err != nil {
+		if _, err := baseline.Basic(context.Background(), m, 1, uint64(i), 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -56,7 +56,10 @@ func main() {
 	if _, err := privelet.MechanismByName(*mechName); err != nil {
 		log.Fatal(err)
 	}
-	st, err := store.New(store.Config{Dir: *storeDir, MaxResident: *maxResident, Shards: *shards})
+	// The store shares the publish worker ceiling for its evaluator
+	// rebuilds (startup recovery and spilled-release reloads); rebuilds
+	// are bit-identical at any worker count, so this is latency-only.
+	st, err := store.New(store.Config{Dir: *storeDir, MaxResident: *maxResident, Shards: *shards, Parallelism: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -66,11 +66,15 @@
 // # Cancellation
 //
 // The publish path takes a context.Context from the Mechanism interface
-// down into the engine's fan-out workers: cancelling it makes workers
-// stop at the next sub-matrix boundary and the publish return the
-// context's error with no goroutines left behind. The HTTP server ties
-// each publish to its request context, so a disconnected client cancels
-// its own in-flight work.
+// down into the engine's fan-out workers, who observe it between
+// sub-matrices, between 64Ki-entry noise chunks, and between the 1-D
+// vectors inside every wavelet step — so even a single-sub-matrix
+// publish over a huge multi-dimensional domain aborts mid-transform
+// (one 1-D vector is the residual indivisible unit: a one-dimensional
+// domain cancels between steps). A cancelled publish returns the
+// context's error, releases nothing, and leaves no goroutines behind.
+// The HTTP server ties each publish to its request context, so a
+// disconnected client cancels its own in-flight work (reported as 499).
 //
 // # Migrating from the pre-Mechanism API
 //
@@ -86,19 +90,26 @@
 //
 // Publishing runs on a parallel, allocation-frugal engine. The Figure-5
 // sub-matrices (one per combination of SA coordinates) are independent,
-// as are the 1-D vectors inside each wavelet step, so the engine fans
-// both levels across a worker pool of Params.Parallelism goroutines
-// (default: runtime.GOMAXPROCS(0)). Each worker owns a ping-pong buffer
-// pair and a kernel cache, so a d-dimensional forward+inverse pass
-// reuses two backing slices and d pre-built kernels (with their scratch)
-// across every sub-matrix the worker drains; vectors along the innermost
-// dimension are handed to the wavelet kernels as direct slices of the
-// backing arrays (zero-copy).
+// as are the 1-D vectors inside each wavelet step, the 64Ki-entry chunks
+// of the Laplace noise-injection pass, and the scans of the prefix-sum
+// evaluator build — the engine fans all of them across a worker pool of
+// Params.Parallelism goroutines (default: runtime.GOMAXPROCS(0)). Each
+// worker owns a ping-pong buffer pair and a kernel cache, so a
+// d-dimensional forward+inverse pass reuses two backing slices and d
+// pre-built kernels (with their scratch) across every sub-matrix the
+// worker drains; vectors along the innermost dimension are handed to the
+// wavelet kernels as direct slices of the backing arrays (zero-copy).
 //
-// Parallelism never changes a release. The Laplace stream of sub-matrix
-// k is a SplitMix-derived substream keyed by (Params.Seed, k) — see
-// internal/rng.Substream — not by visit order, so equal seeds give
-// bit-identical releases at parallelism 1, 4, or a whole fleet of cores.
+// Parallelism never changes a release. Randomized work draws from
+// SplitMix-derived substreams keyed by position, never visit order: the
+// Laplace stream of sub-matrix k is keyed by (Params.Seed, k), and each
+// noise chunk c within it re-substreams that derived seed by c — see
+// internal/rng.Substream — so equal seeds give bit-identical releases at
+// parallelism 1, 4, or a whole fleet of cores. The determinism contract
+// (what exactly is guaranteed, and what is not, across versions) is
+// written out in docs/ARCHITECTURE.md, alongside the layer diagram and
+// the durability chokepoint; docs/BENCHMARKS.md covers the performance
+// baselines.
 //
 // # Serving releases
 //

@@ -46,7 +46,7 @@ func TestBasicEqualsSAAllBitForBit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaBaseline, err := baseline.Basic(context.Background(), m, 0.7, seed)
+	viaBaseline, err := baseline.Basic(context.Background(), m, 0.7, seed, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/matrix"
 	"repro/internal/privacy"
-	"repro/internal/rng"
 	"repro/internal/transform"
 )
 
@@ -31,27 +30,31 @@ type BasicResult struct {
 
 // Basic publishes a noisy frequency matrix with Dwork et al.'s method:
 // each entry receives independent Laplace(2/ε) noise (sensitivity 2,
-// Theorem 1). The input matrix is not modified. Cancelling ctx aborts
-// the noise pass early with ctx's error.
-func Basic(ctx context.Context, m *matrix.Matrix, epsilon float64, seed uint64) (*BasicResult, error) {
+// Theorem 1). The input matrix is not modified. The noise pass fans out
+// across `workers` goroutines (≤ 0 defaults to GOMAXPROCS) over fixed
+// chunks keyed to substreams of the seed, so the release never depends
+// on the worker count. Cancelling ctx aborts the pass early with ctx's
+// error.
+func Basic(ctx context.Context, m *matrix.Matrix, epsilon float64, seed uint64, workers int) (*BasicResult, error) {
 	if epsilon <= 0 {
 		return nil, fmt.Errorf("baseline: epsilon must be positive, got %v", epsilon)
 	}
+	workers = matrix.ResolveWorkers(workers)
 	magnitude := 2 / epsilon
 	noisy := m.Clone()
-	if err := privacy.InjectLaplaceUniformCtx(ctx, noisy, magnitude, rng.New(seed)); err != nil {
+	if err := privacy.InjectLaplaceUniformCtx(ctx, noisy, magnitude, seed, workers); err != nil {
 		return nil, err
 	}
 	return &BasicResult{Noisy: noisy, Magnitude: magnitude, Epsilon: epsilon}, nil
 }
 
 // BasicTable is Basic starting from a table.
-func BasicTable(ctx context.Context, t *dataset.Table, epsilon float64, seed uint64) (*BasicResult, error) {
+func BasicTable(ctx context.Context, t *dataset.Table, epsilon float64, seed uint64, workers int) (*BasicResult, error) {
 	m, err := t.FrequencyMatrix()
 	if err != nil {
 		return nil, err
 	}
-	return Basic(ctx, m, epsilon, seed)
+	return Basic(ctx, m, epsilon, seed, workers)
 }
 
 // HWTResult is an HWTOrdinalized release.
@@ -95,7 +98,7 @@ func HWTOrdinalized(m *matrix.Matrix, schema *dataset.Schema, epsilon float64, s
 	if err != nil {
 		return nil, err
 	}
-	if err := privacy.InjectLaplace(c, weightVecs, lambda, rng.New(seed)); err != nil {
+	if err := privacy.InjectLaplace(c, weightVecs, lambda, seed); err != nil {
 		return nil, err
 	}
 	noisy, err := hn.Inverse(c)

@@ -14,7 +14,7 @@ import (
 
 func TestBasicNoiseMoments(t *testing.T) {
 	m := matrix.MustNew(120, 120)
-	res, err := Basic(context.Background(), m, 1, 3)
+	res, err := Basic(context.Background(), m, 1, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,14 +37,14 @@ func TestBasicNoiseMoments(t *testing.T) {
 
 func TestBasicValidationAndDeterminism(t *testing.T) {
 	m := matrix.MustNew(4)
-	if _, err := Basic(context.Background(), m, 0, 1); err == nil {
+	if _, err := Basic(context.Background(), m, 0, 1, 0); err == nil {
 		t.Error("epsilon 0 should fail")
 	}
-	a, err := Basic(context.Background(), m, 1, 9)
+	a, err := Basic(context.Background(), m, 1, 9, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Basic(context.Background(), m, 1, 9)
+	b, err := Basic(context.Background(), m, 1, 9, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestBasicTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := BasicTable(context.Background(), tbl, 1, 4)
+	res, err := BasicTable(context.Background(), tbl, 1, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,11 @@
 // Package codec serializes releases — schema, hierarchies, noisy matrix
 // and privacy accounting — to a compact, versioned binary format, so a
 // release published once can be stored, shipped, and queried elsewhere
-// without republishing (and without spending more ε).
+// without republishing (and without spending more ε). This is the
+// serialization of the paper's publish-once model (§I, §III: the budget
+// is spent when M* is released; everything after is post-processing),
+// and the byte format behind the single durability chokepoint
+// store.EncodeRelease/DecodeRelease (docs/ARCHITECTURE.md).
 //
 // Format (all integers little-endian; varint = unsigned LEB128 as in
 // encoding/binary):

@@ -24,17 +24,28 @@
 // Execution model. The Figure-5 sub-matrices are mutually independent, so
 // PublishMatrix fans them across a worker pool of Options.Parallelism
 // goroutines; within a sub-matrix, each wavelet step fans its independent
-// 1-D vectors across the workers left over. Each worker owns a ping-pong
-// buffer pair (matrix.Pipeline) and a reusable sub-matrix buffer, so the
+// 1-D vectors across the workers left over, and the noise-injection pass
+// fans its fixed 64Ki-entry chunks across the same inner budget — every
+// stage of the pipeline is parallel. Each worker owns a ping-pong buffer
+// pair (matrix.Pipeline) and a reusable sub-matrix buffer, so the
 // steady-state pass allocates no full matrices. Determinism is preserved
-// at every parallelism level by keying the Laplace stream of sub-matrix
-// k to rng.Substream(Options.Seed, k) rather than to visit order.
+// at every parallelism level by a two-level substream discipline keyed to
+// indices, never visit order: sub-matrix k owns the derived seed
+// rng.SubstreamSeed(Options.Seed, k), and noise chunk c within it draws
+// from rng.Substream of that derived seed and c (the contract is written
+// out in docs/ARCHITECTURE.md). Cancellation reaches the same depth: ctx
+// is observed between sub-matrices, between noise chunks, and between
+// the 1-D vectors inside every wavelet step (about every 64Ki entries),
+// so even a single-sub-matrix (SA = ∅) publish over a multi-dimensional
+// domain aborts mid-transform. The one residual coarse unit is a single
+// 1-D vector — a kernel invocation is never interrupted — so a publish
+// of a one-dimensional domain observes ctx only between transform steps
+// and noise chunks.
 package core
 
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,13 +75,9 @@ type Options struct {
 	Parallelism int
 }
 
-// workers resolves the effective worker count.
-func (o Options) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
+// workers resolves the effective worker count (≤ 0 = all cores; the
+// shared matrix.ResolveWorkers default).
+func (o Options) workers() int { return matrix.ResolveWorkers(o.Parallelism) }
 
 // Result is a published noisy frequency matrix together with its privacy
 // accounting.
@@ -105,11 +112,14 @@ func Publish(ctx context.Context, t *dataset.Table, opts Options) (*Result, erro
 // matrix is not modified.
 //
 // Cancelling ctx aborts the publish: workers observe the cancellation at
-// sub-matrix boundaries (and, for the Basic special case, between noise
-// chunks), finish their current unit, and PublishMatrix returns ctx's
-// error with no goroutines left behind. A serving layer can therefore
-// tie a publish to the client's request context and reclaim the workers
-// the moment the client disconnects.
+// sub-matrix boundaries, between 64Ki-entry noise chunks, and between
+// the vectors inside every wavelet step (so a huge multi-dimensional
+// SA = ∅ domain aborts mid-transform, not just at stage boundaries; a
+// one-dimensional domain is a single vector per step and cancels between
+// steps), finish their current granule, and PublishMatrix returns ctx's
+// error with no goroutines left behind and no partial matrix. A serving
+// layer can therefore tie a publish to the client's request context and
+// reclaim the workers the moment the client disconnects.
 func PublishMatrix(ctx context.Context, m *matrix.Matrix, schema *dataset.Schema, opts Options) (*Result, error) {
 	if opts.Epsilon <= 0 {
 		return nil, fmt.Errorf("core: epsilon must be positive, got %v", opts.Epsilon)
@@ -131,11 +141,13 @@ func PublishMatrix(ctx context.Context, m *matrix.Matrix, schema *dataset.Schema
 		}
 	}
 	// SA covers everything: Basic mechanism (Figure 5 degenerates to
-	// per-entry noise with sensitivity 2).
+	// per-entry noise with sensitivity 2). The noise pass itself fans out
+	// over fixed chunks keyed to substreams of the seed, so this path is
+	// parallel too — and still bit-identical at any worker count.
 	if len(restIdx) == 0 {
 		lambda := 2 / opts.Epsilon
 		noisy := m.Clone()
-		if err := privacy.InjectLaplaceUniformCtx(ctx, noisy, lambda, rng.New(opts.Seed)); err != nil {
+		if err := privacy.InjectLaplaceUniformCtx(ctx, noisy, lambda, opts.Seed, opts.workers()); err != nil {
 			return nil, err
 		}
 		return &Result{
@@ -205,6 +217,11 @@ func PublishMatrix(ctx context.Context, m *matrix.Matrix, schema *dataset.Schema
 			Workers: innerWorkers,
 			Pipe:    matrix.NewPipeline(),
 			Cache:   hn.NewKernelCache(innerWorkers),
+			// Ctx reaches into every ApplyAlong chunk loop, so even a
+			// single-sub-matrix publish (SA = ∅, the whole domain in one
+			// transform pass) cancels mid-transform, about every 64Ki
+			// entries, rather than only at sub-matrix boundaries.
+			Ctx: ctx,
 		}
 		var sub *matrix.Matrix
 		coords := make([]int, len(saIdx))
@@ -234,10 +251,14 @@ func PublishMatrix(ctx context.Context, m *matrix.Matrix, schema *dataset.Schema
 			if err != nil {
 				return err
 			}
-			// Substream keyed by sub-matrix index, not visit order:
-			// equal seeds give bit-identical releases at any
-			// parallelism level.
-			if err := privacy.InjectLaplace(c, weightVecs, lambda, rng.Substream(opts.Seed, uint64(idx))); err != nil {
+			// Two-level substream discipline: sub-matrix idx owns the
+			// derived seed SubstreamSeed(Seed, idx) — keyed by index, not
+			// visit order — and the injection pass substreams it again
+			// per 64Ki-entry chunk, fanning the noise across this
+			// worker's inner budget. Equal seeds therefore give
+			// bit-identical releases at any parallelism level.
+			if err := privacy.InjectLaplaceCtx(ctx, c, weightVecs, lambda,
+				rng.SubstreamSeed(opts.Seed, uint64(idx)), innerWorkers); err != nil {
 				return err
 			}
 			rec, err := hn.InverseExec(c, ex)

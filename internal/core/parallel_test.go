@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/matrix"
 )
 
 // publishAt publishes the same table at a given parallelism.
@@ -88,5 +91,79 @@ func TestPublishDefaultParallelism(t *testing.T) {
 	b := publishAt(t, tbl, []string{"Gender"}, runtime.GOMAXPROCS(0))
 	if d, _ := a.Noisy.MaxAbsDiff(b.Noisy); d != 0 {
 		t.Errorf("default parallelism release differs by %v", d)
+	}
+}
+
+// TestPublishCancelMidTransformNoSA is the PR-4 regression for the
+// cancellation-granularity fix: an SA = ∅ publish is ONE sub-matrix, so
+// before ctx reached the ApplyAlong chunk loops the engine only observed
+// cancellation between transform steps — effectively at the start. With
+// the fix, cancelling while the (multi-second-sized) transform is in
+// flight aborts mid-pass: the publish returns ctx's error promptly, no
+// Result is handed out, and no worker goroutines linger.
+func TestPublishCancelMidTransformNoSA(t *testing.T) {
+	// 2048×512 = 1M entries: each wavelet step sweeps ~16 chunk-granule
+	// cancellation points, so a cancel during the pass is observed well
+	// before the pass ends.
+	schema := dataset.MustSchema(dataset.OrdinalAttr("A", 2048), dataset.OrdinalAttr("B", 512))
+	m, err := matrix.New(schema.Dims()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res *Result
+	var pubErr error
+	go func() {
+		defer close(done)
+		res, pubErr = PublishMatrix(ctx, m, schema, Options{Epsilon: 1, Seed: 11, Parallelism: 2})
+	}()
+	time.Sleep(500 * time.Microsecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled SA=∅ publish did not return")
+	}
+	if pubErr != nil {
+		if !errors.Is(pubErr, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", pubErr)
+		}
+		if res != nil {
+			t.Fatal("cancelled publish returned a partial Result")
+		}
+	}
+	// Whether the publish lost or won the race, its workers must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPublishCancelledNoSADeterministic is the race-free form: a publish
+// whose context dies on the first wavelet kernel call must abort inside
+// the transform (the Figure-5 pipeline never reaches noise injection),
+// proven by a context that a timer cannot miss — it is cancelled before
+// the call, and the SA = ∅ path must return its error without producing
+// a release.
+func TestPublishCancelledNoSADeterministic(t *testing.T) {
+	schema := dataset.MustSchema(dataset.OrdinalAttr("A", 256), dataset.OrdinalAttr("B", 64))
+	m, err := matrix.New(schema.Dims()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := PublishMatrix(ctx, m, schema, Options{Epsilon: 1, Seed: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled publish returned a Result")
 	}
 }

@@ -134,7 +134,7 @@ func RunAccuracy(spec dataset.CensusSpec, prof Profile, metric Metric) (*Accurac
 	if err != nil {
 		return nil, err
 	}
-	truth := query.NewEvaluator(m)
+	truth := query.NewEvaluatorWorkers(m, 0)
 
 	gen, err := workload.NewGenerator(tbl.Schema(), 4)
 	if err != nil {
@@ -169,7 +169,7 @@ func RunAccuracy(spec dataset.CensusSpec, prof Profile, metric Metric) (*Accurac
 	}
 	for ei, eps := range prof.Epsilons {
 		seed := prof.Seed + 100*uint64(ei) + 17
-		bres, err := baseline.Basic(context.Background(), m, eps, seed)
+		bres, err := baseline.Basic(context.Background(), m, eps, seed, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -177,8 +177,8 @@ func RunAccuracy(spec dataset.CensusSpec, prof Profile, metric Metric) (*Accurac
 		if err != nil {
 			return nil, err
 		}
-		bEval := query.NewEvaluator(bres.Noisy)
-		pEval := query.NewEvaluator(pres.Noisy)
+		bEval := query.NewEvaluatorWorkers(bres.Noisy, 0)
+		pEval := query.NewEvaluatorWorkers(pres.Noisy, 0)
 
 		bErrs := make([]float64, len(queries))
 		pErrs := make([]float64, len(queries))
@@ -288,7 +288,7 @@ func timeOne(spec dataset.UniformSpec, n int, seed uint64) (TimingPoint, error) 
 	if err != nil {
 		return TimingPoint{}, err
 	}
-	if _, err := baseline.Basic(context.Background(), m, 1.0, seed+1); err != nil {
+	if _, err := baseline.Basic(context.Background(), m, 1.0, seed+1, 0); err != nil {
 		return TimingPoint{}, err
 	}
 	basicTime := time.Since(start)

@@ -100,6 +100,11 @@ type Options struct {
 	AutoSA bool
 	// Sanitize rounds each released marginal to non-negative integers.
 	Sanitize bool
+	// Parallelism caps each marginal's publish workers (core.Options
+	// semantics: ≤ 0 means GOMAXPROCS). Marginals of one set are
+	// published sequentially — their budgets compose, their hardware
+	// should not — and each release is independent of the worker count.
+	Parallelism int
 }
 
 // PublishSet releases one marginal per attribute list. Sequential
@@ -132,6 +137,7 @@ func PublishSet(ctx context.Context, t *dataset.Table, sets [][]string, opts Opt
 		}
 		res, err := core.PublishMatrix(ctx, proj, sub, core.Options{
 			Epsilon: per, SA: sa, Seed: opts.Seed + uint64(si)*7919,
+			Parallelism: opts.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("marginal %d: %w", si, err)

@@ -325,24 +325,9 @@ func (m *Matrix) walkSub(freeDims []int, baseOff int, visit func(srcOff, dstOff 
 
 // PrefixSum converts the matrix in place into a d-dimensional summed-area
 // table: entry x becomes the sum of all entries with coordinates ≤ x
-// component-wise.
-func (m *Matrix) PrefixSum() {
-	for dim := range m.dims {
-		size := m.dims[dim]
-		stride := m.strides[dim]
-		inner := stride
-		outer := len(m.data) / (size * inner)
-		for o := 0; o < outer; o++ {
-			base := o * size * inner
-			for in := 0; in < inner; in++ {
-				off := base + in
-				for j := 1; j < size; j++ {
-					m.data[off+j*stride] += m.data[off+(j-1)*stride]
-				}
-			}
-		}
-	}
-}
+// component-wise. See PrefixSumExec for the worker-pool variant the
+// publish and store-reload paths use; PrefixSum is its serial case.
+func (m *Matrix) PrefixSum() { m.PrefixSumExec(1) }
 
 // RangeSum evaluates the sum of the original entries inside the
 // inclusive hyper-rectangle [lo, hi] of a matrix previously transformed by

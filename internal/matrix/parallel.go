@@ -7,10 +7,16 @@
 //
 //   - ApplyAlongPool — a chunked worker-pool ApplyAlong. Each worker owns
 //     a kernel instance produced by a factory, so kernels may keep scratch
-//     state without synchronization;
+//     state without synchronization. The Ctx variants additionally observe
+//     a context.Context about every 64Ki entries, so a pass over a huge
+//     domain cancels mid-transform and returns ctx.Err(), never a partial
+//     matrix;
 //   - Pipeline — a pair of ping-pong buffers that chained ApplyAlong
 //     steps alternate between, so a d-dimensional forward+inverse pass
 //     allocates two backing slices total instead of 2d full matrices;
+//   - PrefixSumExec — the summed-area-table build (the query evaluator's
+//     cost) with the per-dimension scans fanned across the same kind of
+//     pool, bit-identical to the serial PrefixSum;
 //   - SubInto — Sub writing into a reusable destination matrix.
 //
 // Vectors whose dimension is innermost (stride 1) are handed to kernels
@@ -19,7 +25,9 @@
 package matrix
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 )
 
@@ -42,6 +50,19 @@ type KernelFactory func(worker int) VecFunc
 // SharedKernel adapts a stateless, concurrency-safe kernel to a
 // KernelFactory.
 func SharedKernel(f VecFunc) KernelFactory { return func(int) VecFunc { return f } }
+
+// ResolveWorkers resolves a caller-facing parallelism knob to an
+// effective worker count: values ≤ 0 mean runtime.GOMAXPROCS(0). This
+// is the single definition of the "≤ 0 = all cores" default shared by
+// the public Params, core.Options, the baseline mechanisms, and the
+// release store's evaluator rebuilds, so every stage of a publish
+// resolves the same knob to the same budget.
+func ResolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Strides returns the row-major strides for the given dimension sizes —
 // the single definition of the matrix memory layout, shared by the
@@ -75,6 +96,20 @@ func (m *Matrix) checkApplyAlong(dim, newSize int) ([]int, error) {
 // chunk by its own kernel from factory. workers ≤ 1 runs serially on the
 // calling goroutine. The result is bit-identical at any worker count.
 func (m *Matrix) ApplyAlongPool(dim, newSize, workers int, factory KernelFactory) (*Matrix, error) {
+	return m.ApplyAlongPoolCtx(context.Background(), dim, newSize, workers, factory)
+}
+
+// ApplyAlongPoolCtx is ApplyAlongPool under a context: every worker
+// observes ctx between vectors, about every cancelCheckEntries entries,
+// so even a single enormous apply (one sub-matrix spanning the whole
+// domain) cancels mid-pass rather than only at its boundary — provided
+// the pass has more than one vector. A vector is one kernel invocation
+// and is never interrupted inside the kernel, so the degenerate 1-D
+// apply (the whole domain as a single vector) only observes ctx before
+// that one call. On cancellation the call returns ctx's error and NO
+// matrix — the partially written destination is discarded, never handed
+// to the caller.
+func (m *Matrix) ApplyAlongPoolCtx(ctx context.Context, dim, newSize, workers int, factory KernelFactory) (*Matrix, error) {
 	newDims, err := m.checkApplyAlong(dim, newSize)
 	if err != nil {
 		return nil, err
@@ -83,24 +118,47 @@ func (m *Matrix) ApplyAlongPool(dim, newSize, workers int, factory KernelFactory
 	if err != nil {
 		return nil, err
 	}
-	m.applyAlongInto(dim, workers, factory, out)
+	if err := m.applyAlongInto(ctx, dim, workers, factory, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
-// applyAlongInto runs the chunked apply into a preshaped destination.
-// out must have m's shape except along dim.
-func (m *Matrix) applyAlongInto(dim, workers int, factory KernelFactory, out *Matrix) {
-	oldSize := m.dims[dim]
-	inner := m.strides[dim] // product of dims after dim
-	outer := len(m.data) / (oldSize * inner)
-	total := outer * inner // number of vectors along dim
+// cancelCheckEntries is roughly how many matrix entries a worker
+// processes between context checks: large enough that the check is free
+// next to the kernel work, small enough that cancelling a pass over a
+// multi-million-entry domain takes effect in well under a millisecond.
+// It matches the noise-injection chunk granule in internal/privacy, so
+// "the engine observes ctx about every 64Ki entries" holds across the
+// whole publish pipeline.
+const cancelCheckEntries = 1 << 16
+
+// cancelCheckVectors converts the entry granule into a vector count for
+// vectors of the given length.
+func cancelCheckVectors(vecLen int) int {
+	n := cancelCheckEntries / vecLen
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// forEachRange splits [0, total) into `workers` contiguous ranges and
+// runs them concurrently, each on its own goroutine (workers ≤ 1: one
+// range on the calling goroutine). run receives its worker index and
+// half-open range; the first non-nil error is returned after every
+// worker has joined. The contiguous lo/hi split — rather than a shared
+// counter — keeps range membership a pure function of (total, workers),
+// which the per-worker kernel cache relies on. Shared by the
+// ApplyAlong family and PrefixSumExec so the two pools cannot drift.
+func forEachRange(total, workers int, run func(w, lo, hi int) error) error {
 	if workers > total {
 		workers = total
 	}
 	if workers <= 1 {
-		m.applyRange(out, dim, 0, total, factory(0))
-		return
+		return run(0, 0, total)
 	}
+	errs := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * total / workers
@@ -111,32 +169,68 @@ func (m *Matrix) applyAlongInto(dim, workers int, factory KernelFactory, out *Ma
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			m.applyRange(out, dim, lo, hi, factory(w))
+			if err := run(w, lo, hi); err != nil {
+				errs <- err
+			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// applyAlongInto runs the chunked apply into a preshaped destination.
+// out must have m's shape except along dim. A non-nil error is always
+// ctx's error; the destination then holds partial garbage and must be
+// dropped by the caller.
+func (m *Matrix) applyAlongInto(ctx context.Context, dim, workers int, factory KernelFactory, out *Matrix) error {
+	oldSize := m.dims[dim]
+	inner := m.strides[dim] // product of dims after dim
+	outer := len(m.data) / (oldSize * inner)
+	total := outer * inner // number of vectors along dim
+	return forEachRange(total, workers, func(w, lo, hi int) error {
+		return m.applyRange(ctx, out, dim, lo, hi, factory(w))
+	})
 }
 
 // applyRange applies f to vectors [lo, hi) along dim, writing into out.
 // Vector v decomposes as (outer, inner) = (v/inner, v%inner); when dim is
 // innermost (inner == 1) the vectors are contiguous and are passed to f
-// as direct slices of the backing arrays.
-func (m *Matrix) applyRange(out *Matrix, dim, lo, hi int, f VecFunc) {
+// as direct slices of the backing arrays. ctx is observed roughly every
+// cancelCheckEntries entries; a countdown (rather than a modulo) keeps
+// the per-vector overhead to one decrement.
+func (m *Matrix) applyRange(ctx context.Context, out *Matrix, dim, lo, hi int, f VecFunc) error {
 	oldSize := m.dims[dim]
 	newSize := out.dims[dim]
+	checkEvery := cancelCheckVectors(oldSize)
+	budget := 0
 	srcStride := m.strides[dim]
 	dstStride := out.strides[dim]
 	inner := srcStride
 	if inner == 1 {
 		// Zero-copy: vector v occupies m.data[v*oldSize : (v+1)*oldSize].
 		for v := lo; v < hi; v++ {
+			if budget == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				budget = checkEvery
+			}
+			budget--
 			f(m.data[v*oldSize:(v+1)*oldSize], out.data[v*newSize:(v+1)*newSize])
 		}
-		return
+		return nil
 	}
 	src := make([]float64, oldSize)
 	dst := make([]float64, newSize)
 	for v := lo; v < hi; v++ {
+		if budget == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			budget = checkEvery
+		}
+		budget--
 		o, in := v/inner, v%inner
 		so := o*oldSize*inner + in
 		for j := 0; j < oldSize; j++ {
@@ -148,6 +242,7 @@ func (m *Matrix) applyRange(out *Matrix, dim, lo, hi int, f VecFunc) {
 			out.data[do+j*dstStride] = dst[j]
 		}
 	}
+	return nil
 }
 
 // Pipeline is a pair of ping-pong buffers for chained ApplyAlong steps: a
@@ -190,6 +285,15 @@ func (p *Pipeline) aliases(data []float64, i int) bool {
 // the next call on this pipeline, and callers must copy out (e.g. via
 // SetSub or Clone) anything they need to keep.
 func (p *Pipeline) ApplyAlong(m *Matrix, dim, newSize, workers int, factory KernelFactory) (*Matrix, error) {
+	return p.ApplyAlongCtx(context.Background(), m, dim, newSize, workers, factory)
+}
+
+// ApplyAlongCtx is ApplyAlong under a context (see ApplyAlongPoolCtx for
+// the cancellation granularity). On cancellation it returns ctx's error
+// and no matrix; the pipeline buffer the aborted pass was writing holds
+// garbage, which the ping-pong discipline already treats as invalid — the
+// next ApplyAlong on the pipeline simply overwrites it.
+func (p *Pipeline) ApplyAlongCtx(ctx context.Context, m *Matrix, dim, newSize, workers int, factory KernelFactory) (*Matrix, error) {
 	newDims, err := m.checkApplyAlong(dim, newSize)
 	if err != nil {
 		return nil, err
@@ -208,8 +312,55 @@ func (p *Pipeline) ApplyAlong(m *Matrix, dim, newSize, workers int, factory Kern
 		data:    p.take(target, total),
 	}
 	p.next = 1 - target
-	m.applyAlongInto(dim, workers, factory, out)
+	if err := m.applyAlongInto(ctx, dim, workers, factory, out); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// PrefixSumExec is PrefixSum with a worker pool: within each dimension's
+// pass the Len()/Dim(dim) scans along that dimension are mutually
+// independent, so they fan out across `workers` goroutines exactly like
+// ApplyAlongPool's vectors (workers ≤ 1 runs serially on the calling
+// goroutine); dimensions themselves stay sequential, each pass joining
+// its workers before the next starts, because pass i reads what pass i−1
+// wrote. Every individual scan accumulates left-to-right in the same
+// order at any worker count, so no float64 addition is ever reassociated
+// and the resulting table is bit-identical to the serial one (`==` per
+// entry, property-tested) — the evaluator-rebuild analogue of the
+// publish engine's determinism contract (docs/ARCHITECTURE.md).
+//
+// A 1-D matrix is a single scan with a loop-carried dependency and runs
+// serially regardless of workers: parallelizing it would need a
+// tree-structured scan, which reassociates sums and breaks bit-identity.
+func (m *Matrix) PrefixSumExec(workers int) {
+	for dim := range m.dims {
+		size := m.dims[dim]
+		inner := m.strides[dim]
+		outer := len(m.data) / (size * inner)
+		// The scans never fail, so forEachRange's error is always nil.
+		_ = forEachRange(outer*inner, workers, func(_, lo, hi int) error {
+			m.prefixScanRange(dim, lo, hi)
+			return nil
+		})
+	}
+}
+
+// prefixScanRange runs scans [lo, hi) of dimension dim's prefix-sum pass.
+// Scan v decomposes as (outer, inner) = (v/inner, v%inner), mirroring
+// applyRange's vector numbering; distinct scans touch disjoint entries,
+// so concurrent ranges need no synchronization.
+func (m *Matrix) prefixScanRange(dim, lo, hi int) {
+	size := m.dims[dim]
+	stride := m.strides[dim]
+	inner := stride
+	for v := lo; v < hi; v++ {
+		o, in := v/inner, v%inner
+		off := o*size*inner + in
+		for j := 1; j < size; j++ {
+			m.data[off+j*stride] += m.data[off+(j-1)*stride]
+		}
+	}
 }
 
 // SubInto is Sub writing into dst, which is reused when it already has

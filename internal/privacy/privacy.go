@@ -9,12 +9,24 @@
 // sensitivity ρ and per-function noise magnitude λ/W(f) satisfies
 // (2ρ/λ)-differential privacy (Theorem 1, Lemma 1); equivalently, to reach
 // a target ε one sets λ = 2ρ/ε.
+//
+// Noise-injection fan-out. The injection passes are the serial tail of a
+// publish once the wavelet transform is parallel, so both fan out over
+// fixed NoiseChunk-entry chunks of the flat coefficient array, chunk k
+// drawing its Laplace variates from rng.Substream(seed, k). The privacy
+// guarantee is indifferent to which PRNG stream a variate comes from —
+// Theorem 1 only needs the draws independent with the right magnitudes —
+// while the fixed chunk granule keeps the release a pure function of the
+// seed: bit-identical (float64 ==) at any worker count, and cancellable
+// between chunks. docs/ARCHITECTURE.md states the full contract.
 package privacy
 
 import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/haar"
 	"repro/internal/hierarchy"
@@ -104,7 +116,12 @@ func Epsilon(lambda, rho float64) (float64, error) {
 
 // BasicVarianceBound returns the worst-case noise variance of Dwork et
 // al.'s method at privacy level ε for a query covering `covered` matrix
-// entries: covered · 2·(2/ε)² (§II-B: each entry carries variance 8/ε²).
+// entries: covered · 2·(2/ε)² (§II-B: each entry carries variance 8/ε²,
+// by Equation 1 at magnitude 2/ε). This linear-in-coverage growth is the
+// baseline the wavelet mechanisms beat — the nominal transform of §V
+// holds subtree-query variance to O(h²) in the hierarchy height and the
+// multi-dimensional composition of §VI to the polylogarithmic Corollary 1
+// bound, both independent of how many entries the query covers.
 func BasicVarianceBound(epsilon float64, covered int) float64 {
 	return float64(covered) * 8 / (epsilon * epsilon)
 }
@@ -155,13 +172,105 @@ func PriveletPlusVarianceBound(epsilon float64, inSA []int, rest []transform.Spe
 	return bound, nil
 }
 
+// NoiseChunk is the fixed granule of the noise-injection fan-out: both
+// injection passes cut the flat coefficient array into NoiseChunk-entry
+// chunks, and chunk k draws every one of its Laplace variates from
+// rng.Substream(seed, k). Because the chunk size is a constant — never a
+// function of the worker count — and a chunk's stream depends only on
+// (seed, k), the injected noise is a pure function of (seed, matrix
+// shape, weights): bit-identical (float64 ==) at parallelism 1, 4, or
+// GOMAXPROCS, property-tested like the core engine's sub-matrix fan-out.
+// 64Ki entries is large enough that the per-chunk substream setup and
+// context check are free next to ~65k Laplace draws, and small enough
+// that cancelling a pass over a multi-million-entry domain takes effect
+// in well under a millisecond.
+const NoiseChunk = 1 << 16
+
+// forEachChunk fans the NoiseChunk-sized chunks of [0, n) across
+// `workers` goroutines (≤ 1 runs serially on the calling goroutine),
+// calling fn(k, lo, hi) for chunk k covering entries [lo, hi). Workers
+// pull chunk indices from a shared counter and observe ctx before each
+// chunk; fn must therefore be safe to call concurrently on disjoint
+// chunks and in any order. Returns ctx's error iff some chunk was
+// skipped because of cancellation — a completed pass never reports the
+// cancel that arrived after its last chunk.
+func forEachChunk(ctx context.Context, n, workers int, fn func(k, lo, hi int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	chunks := (n + NoiseChunk - 1) / NoiseChunk
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for k := 0; k < chunks; k++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lo := k * NoiseChunk
+			hi := min(lo+NoiseChunk, n)
+			fn(k, lo, hi)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Claim before consulting ctx: a worker that finds the
+				// counter exhausted exits cleanly, so a cancel that lands
+				// after the last chunk completed never condemns a fully
+				// noised (perfectly valid) matrix. Only a claimed chunk
+				// abandoned to the cancel marks the pass failed.
+				k := int(next.Add(1)) - 1
+				if k >= chunks {
+					return
+				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				lo := k * NoiseChunk
+				fn(k, lo, min(lo+NoiseChunk, n))
+			}
+		}()
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
 // InjectLaplace adds independent Laplace noise to every entry of the
-// coefficient matrix c: entry with weight w receives magnitude λ/w, and
+// coefficient matrix c — step 5 of the paper's Figure 5, the move that
+// actually buys ε-differential privacy (Theorem 1 with the generalized
+// sensitivity of §VI-B): entry with weight w receives magnitude λ/w, and
 // entries with weight 0 (structurally-zero nominal coefficients) receive
 // no noise. Weights are supplied as per-dimension vectors whose product
 // is W_HN (see transform.WeightVector); weightVecs[i] must have length
-// c.Dim(i). The matrix is modified in place.
-func InjectLaplace(c *matrix.Matrix, weightVecs [][]float64, lambda float64, src *rng.Source) error {
+// c.Dim(i). The matrix is modified in place. Noise is drawn per
+// NoiseChunk-entry chunk from rng.Substream(seed, chunk); serial
+// shorthand for InjectLaplaceCtx.
+func InjectLaplace(c *matrix.Matrix, weightVecs [][]float64, lambda float64, seed uint64) error {
+	return InjectLaplaceCtx(context.Background(), c, weightVecs, lambda, seed, 1)
+}
+
+// InjectLaplaceCtx is InjectLaplace with a worker pool and a context:
+// the flat coefficient array fans out over fixed NoiseChunk-entry
+// chunks, chunk k drawing from rng.Substream(seed, k) — the same
+// position-independent substream discipline that makes core's
+// sub-matrix fan-out deterministic — so the noised matrix is
+// bit-identical at any worker count (workers ≤ 1 runs serially on the
+// calling goroutine). ctx is observed between chunks; on cancellation
+// the pass stops early with ctx's error and the matrix is partially
+// noised — it must be discarded, never released. Entries whose weight is
+// zero consume no draw from their chunk's stream.
+func InjectLaplaceCtx(ctx context.Context, c *matrix.Matrix, weightVecs [][]float64, lambda float64, seed uint64, workers int) error {
 	if lambda < 0 {
 		return fmt.Errorf("privacy: negative lambda %v", lambda)
 	}
@@ -176,59 +285,48 @@ func InjectLaplace(c *matrix.Matrix, weightVecs [][]float64, lambda float64, src
 		}
 	}
 	data := c.Data()
-	coords := make([]int, d)
-	// Odometer iteration keeps the running weight product incremental-
-	// friendly; with d ≤ ~6 recomputing the product per entry is fine.
-	for off := range data {
-		c.Coords(off, coords)
-		w := 1.0
-		for i, ci := range coords {
-			w *= weightVecs[i][ci]
+	return forEachChunk(ctx, len(data), workers, func(k, lo, hi int) {
+		src := rng.Substream(seed, uint64(k))
+		coords := make([]int, d)
+		// With d ≤ ~6 recomputing the weight product per entry is cheap
+		// next to the Laplace draw's log.
+		for off := lo; off < hi; off++ {
+			c.Coords(off, coords)
+			w := 1.0
+			for i, ci := range coords {
+				w *= weightVecs[i][ci]
+			}
+			if w == 0 {
+				continue
+			}
+			data[off] += src.Laplace(lambda / w)
 		}
-		if w == 0 {
-			continue
-		}
-		data[off] += src.Laplace(lambda / w)
-	}
-	return nil
+	})
 }
 
 // InjectLaplaceUniform adds Laplace noise of a single magnitude to every
-// entry — Dwork et al.'s Basic mechanism step.
-func InjectLaplaceUniform(m *matrix.Matrix, magnitude float64, src *rng.Source) error {
-	return InjectLaplaceUniformCtx(context.Background(), m, magnitude, src)
+// entry — Dwork et al.'s Basic mechanism step (§II-B), where every cell
+// carries Laplace(2/ε) and hence variance 8/ε² (Equation 1). Serial
+// shorthand for InjectLaplaceUniformCtx.
+func InjectLaplaceUniform(m *matrix.Matrix, magnitude float64, seed uint64) error {
+	return InjectLaplaceUniformCtx(context.Background(), m, magnitude, seed, 1)
 }
 
-// uniformChunk is how many entries InjectLaplaceUniformCtx processes
-// between context checks: large enough that the check is free relative
-// to the Laplace draws, small enough that cancelling a Basic publish of
-// a multi-million-entry domain takes effect in well under a millisecond.
-const uniformChunk = 1 << 16
-
-// InjectLaplaceUniformCtx is InjectLaplaceUniform under a context: the
-// pass checks ctx between chunks of entries and stops early with ctx's
-// error when cancelled (the matrix is then partially noised and must be
-// discarded — never released). The noise sequence is identical to the
-// context-free variant at every chunk size.
-func InjectLaplaceUniformCtx(ctx context.Context, m *matrix.Matrix, magnitude float64, src *rng.Source) error {
+// InjectLaplaceUniformCtx is InjectLaplaceUniform with a worker pool and
+// a context, chunked exactly like InjectLaplaceCtx: fixed
+// NoiseChunk-entry chunks, chunk k drawing from rng.Substream(seed, k),
+// bit-identical output at any worker count, ctx observed between chunks
+// (a cancelled pass leaves the matrix partially noised — discard it,
+// never release it).
+func InjectLaplaceUniformCtx(ctx context.Context, m *matrix.Matrix, magnitude float64, seed uint64, workers int) error {
 	if magnitude < 0 {
 		return fmt.Errorf("privacy: negative magnitude %v", magnitude)
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	data := m.Data()
-	for base := 0; base < len(data); base += uniformChunk {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		end := base + uniformChunk
-		if end > len(data) {
-			end = len(data)
-		}
-		for i := base; i < end; i++ {
+	return forEachChunk(ctx, len(data), workers, func(k, lo, hi int) {
+		src := rng.Substream(seed, uint64(k))
+		for i := lo; i < hi; i++ {
 			data[i] += src.Laplace(magnitude)
 		}
-	}
-	return nil
+	})
 }

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/hierarchy"
 	"repro/internal/matrix"
-	"repro/internal/rng"
 	"repro/internal/transform"
 )
 
@@ -180,9 +179,8 @@ func TestBoundsScaleWithEpsilon(t *testing.T) {
 
 func TestInjectLaplaceUniformMoments(t *testing.T) {
 	m := matrix.MustNew(200, 200)
-	src := rng.New(9)
 	mag := 2.0
-	if err := InjectLaplaceUniform(m, mag, src); err != nil {
+	if err := InjectLaplaceUniform(m, mag, 9); err != nil {
 		t.Fatal(err)
 	}
 	sum, sumSq := 0.0, 0.0
@@ -200,22 +198,23 @@ func TestInjectLaplaceUniformMoments(t *testing.T) {
 	if math.Abs(variance-want) > 0.1*want {
 		t.Errorf("variance = %v, want ~%v", variance, want)
 	}
-	if err := InjectLaplaceUniform(m, -1, src); err == nil {
+	if err := InjectLaplaceUniform(m, -1, 9); err == nil {
 		t.Error("negative magnitude should fail")
 	}
 }
 
 func TestInjectLaplaceWeighted(t *testing.T) {
 	// Two-dimensional 2×3 with weight vectors [1,2] and [1,1,4]: entry
-	// (1,2) has weight 8 ⇒ magnitude λ/8 ⇒ variance 2λ²/64.
-	src := rng.New(10)
+	// (1,2) has weight 8 ⇒ magnitude λ/8 ⇒ variance 2λ²/64. Each trial
+	// uses its own seed: a seed fully determines the noise, so resampling
+	// means reseeding.
 	wv := [][]float64{{1, 2}, {1, 1, 4}}
 	lambda := 4.0
 	const trials = 60000
 	sumSq := make(map[[2]int]float64)
 	for trial := 0; trial < trials; trial++ {
 		m := matrix.MustNew(2, 3)
-		if err := InjectLaplace(m, wv, lambda, src); err != nil {
+		if err := InjectLaplace(m, wv, lambda, uint64(trial)); err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < 2; i++ {
@@ -239,10 +238,9 @@ func TestInjectLaplaceWeighted(t *testing.T) {
 }
 
 func TestInjectLaplaceZeroWeightSkipped(t *testing.T) {
-	src := rng.New(11)
 	m := matrix.MustNew(4)
 	wv := [][]float64{{1, 0, 2, 0}}
-	if err := InjectLaplace(m, wv, 3, src); err != nil {
+	if err := InjectLaplace(m, wv, 3, 11); err != nil {
 		t.Fatal(err)
 	}
 	if m.At(1) != 0 || m.At(3) != 0 {
@@ -254,15 +252,14 @@ func TestInjectLaplaceZeroWeightSkipped(t *testing.T) {
 }
 
 func TestInjectLaplaceValidation(t *testing.T) {
-	src := rng.New(12)
 	m := matrix.MustNew(2, 2)
-	if err := InjectLaplace(m, [][]float64{{1, 1}}, 1, src); err == nil {
+	if err := InjectLaplace(m, [][]float64{{1, 1}}, 1, 12); err == nil {
 		t.Error("wrong weight vector count should fail")
 	}
-	if err := InjectLaplace(m, [][]float64{{1}, {1, 1}}, 1, src); err == nil {
+	if err := InjectLaplace(m, [][]float64{{1}, {1, 1}}, 1, 12); err == nil {
 		t.Error("wrong weight vector length should fail")
 	}
-	if err := InjectLaplace(m, [][]float64{{1, 1}, {1, 1}}, -2, src); err == nil {
+	if err := InjectLaplace(m, [][]float64{{1, 1}, {1, 1}}, -2, 12); err == nil {
 		t.Error("negative lambda should fail")
 	}
 }

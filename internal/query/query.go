@@ -208,11 +208,23 @@ type Evaluator struct {
 	total  float64
 }
 
-// NewEvaluator builds the summed-area table (one O(m) pass).
-func NewEvaluator(m *matrix.Matrix) *Evaluator {
+// NewEvaluator builds the summed-area table (one O(m) pass) serially;
+// NewEvaluatorWorkers is the pooled variant the publish and store-reload
+// hot paths use.
+func NewEvaluator(m *matrix.Matrix) *Evaluator { return NewEvaluatorWorkers(m, 1) }
+
+// NewEvaluatorWorkers builds the summed-area table with the prefix-sum
+// pass fanned across `workers` goroutines (matrix.PrefixSumExec). It
+// takes the caller-facing parallelism knob directly: ≤ 0 means all
+// cores (the shared matrix.ResolveWorkers default), 1 runs serially.
+// The table — and hence every Count — is bit-identical at any worker
+// count, so callers may pick workers purely by how much hardware the
+// build should use: the evaluator build is the dominant cost of
+// reloading a spilled release.
+func NewEvaluatorWorkers(m *matrix.Matrix, workers int) *Evaluator {
 	p := m.Clone()
 	total := m.Total()
-	p.PrefixSum()
+	p.PrefixSumExec(matrix.ResolveWorkers(workers))
 	return &Evaluator{prefix: p, total: total}
 }
 

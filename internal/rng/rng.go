@@ -4,7 +4,11 @@
 //
 // All randomness in this repository flows through rng.Source so that every
 // experiment is reproducible from a single uint64 seed, independent of any
-// changes to math/rand across Go releases. The generator is splitmix64
+// changes to math/rand across Go releases: a release is a pure function of
+// (data, parameters, seed), bit-identical at any parallelism, because the
+// parallel publish engine keys every unit of work to a position-independent
+// substream of the seed (see Substream and docs/ARCHITECTURE.md for the
+// exact numbering contract). The generator is splitmix64
 // (Steele, Lea, Flood 2014), which passes BigCrush and is trivially
 // seedable; it is not cryptographically secure, which is acceptable here
 // because we reproduce a paper's statistical behaviour rather than ship a
@@ -55,8 +59,28 @@ func mix64(z uint64) uint64 {
 // splitmix64 finalizer with distinct additive constants, so substreams of
 // the same seed — and equal stream indices of different seeds — start in
 // well-separated states.
+//
+// The publish engine uses a fixed two-level numbering (the determinism
+// contract of docs/ARCHITECTURE.md): level one keys stream k of the
+// publish seed to the k-th unit of independent work — sub-matrix k of the
+// Figure-5 fan-out in internal/core, enumerated in the paper's mixed-radix
+// SA coordinate order — and level two re-substreams each unit's derived
+// seed (SubstreamSeed) by chunk index for the noise-injection fan-out in
+// internal/privacy, chunk c covering coefficient offsets
+// [c·64Ki, (c+1)·64Ki). Both levels depend only on indices, never on
+// worker count or visit order, which is what makes releases bit-identical
+// (float64 ==) at any parallelism.
 func Substream(seed, stream uint64) *Source {
-	return New(mix64(mix64(seed+0x9e3779b97f4a7c15) + stream*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb))
+	return New(SubstreamSeed(seed, stream))
+}
+
+// SubstreamSeed returns the derived seed Substream(seed, stream) starts
+// from. It exists so substream derivation can nest: a unit of work keyed
+// by stream k can hand SubstreamSeed(seed, k) to a lower level that
+// substreams it again by a finer index (internal/privacy does this per
+// noise chunk), keeping every level position-independent.
+func SubstreamSeed(seed, stream uint64) uint64 {
+	return mix64(mix64(seed+0x9e3779b97f4a7c15) + stream*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb)
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

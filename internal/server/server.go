@@ -106,8 +106,10 @@ func New(cfg Config) *Server {
 	}
 	st := cfg.Store
 	if st == nil {
-		// The zero store config cannot fail.
-		st, _ = store.New(store.Config{})
+		// An in-memory store never reloads, but recovery/Put still build
+		// evaluators; give them the same worker ceiling as publishes.
+		// The store config without a Dir cannot fail.
+		st, _ = store.New(store.Config{Parallelism: cfg.Parallelism})
 	}
 	s := &Server{store: st, maxBody: cfg.MaxBody, parallelism: cfg.Parallelism, defaultMech: cfg.DefaultMechanism}
 	for _, stub := range st.List() {

@@ -75,6 +75,12 @@ type Config struct {
 	// writes the release through to Dir, evicted releases reload from
 	// it, and New recovers the releases already present in it.
 	Dir string
+	// Parallelism is the worker count for rebuilding a release's
+	// prefix-sum evaluator (the dominant cost of reloading a spilled
+	// release and of startup recovery); ≤ 0 means GOMAXPROCS. The
+	// rebuild is bit-identical at any worker count
+	// (matrix.PrefixSumExec), so this only affects reload latency.
+	Parallelism int
 }
 
 // Release is the resident view of a stored release, as returned by Get
@@ -231,7 +237,7 @@ func (s *Store) recover() error {
 		e := &entry{id: id, stub: makeStub(id, p, 0), spilled: true}
 		if s.cfg.MaxResident > 0 && s.resident.Load() < int64(s.cfg.MaxResident) {
 			e.payload = p
-			e.eval = query.NewEvaluator(p.Noisy)
+			e.eval = query.NewEvaluatorWorkers(p.Noisy, s.cfg.Parallelism)
 			e.touch(s)
 			s.resident.Add(1)
 		}
@@ -266,7 +272,7 @@ func (s *Store) Put(id string, p *codec.Payload, workers int) error {
 		id:      id,
 		stub:    makeStub(id, p, workers),
 		payload: p,
-		eval:    query.NewEvaluator(p.Noisy),
+		eval:    query.NewEvaluatorWorkers(p.Noisy, s.cfg.Parallelism),
 	}
 	e.touch(s)
 	sh := s.shard(id)
@@ -489,7 +495,7 @@ func (s *Store) reload(sh *shard, e *entry) (Release, error) {
 		}
 		return Release{}, fmt.Errorf("store: reloading %q: %w", e.id, err)
 	}
-	eval := query.NewEvaluator(p.Noisy)
+	eval := query.NewEvaluatorWorkers(p.Noisy, s.cfg.Parallelism)
 	sh.mu.Lock()
 	if sh.entries[e.id] != e {
 		// Removed between the read and the install: do not resurrect the

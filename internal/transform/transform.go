@@ -25,6 +25,7 @@
 package transform
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -179,14 +180,23 @@ type Exec struct {
 	// It must come from the same HN's NewKernelCache, sized for at least
 	// Workers, and like Pipe must not be shared between goroutines.
 	Cache *KernelCache
+	// Ctx, when non-nil, is observed inside every ApplyAlong step's
+	// chunk loop (about every 64Ki entries), so a pass over a huge
+	// single sub-matrix cancels mid-transform instead of only between
+	// steps. A cancelled pass returns ctx's error and no matrix.
+	Ctx context.Context
 }
 
 // apply runs one ApplyAlong step under the exec policy.
 func (ex Exec) apply(m *matrix.Matrix, dim, newSize int, factory matrix.KernelFactory) (*matrix.Matrix, error) {
-	if ex.Pipe != nil {
-		return ex.Pipe.ApplyAlong(m, dim, newSize, ex.Workers, factory)
+	ctx := ex.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return m.ApplyAlongPool(dim, newSize, ex.Workers, factory)
+	if ex.Pipe != nil {
+		return ex.Pipe.ApplyAlongCtx(ctx, m, dim, newSize, ex.Workers, factory)
+	}
+	return m.ApplyAlongPoolCtx(ctx, dim, newSize, ex.Workers, factory)
 }
 
 // KernelCache memoizes kernel instances per (dimension, direction,

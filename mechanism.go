@@ -213,6 +213,9 @@ func init() {
 // p.Sanitize). It is the primary publish entry point; Publisher.Publish
 // and the legacy Publish/PublishBasic wrappers all funnel through it.
 func PublishWith(ctx context.Context, mechanism string, freq *Frequency, p Params) (*Release, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mech, err := MechanismByName(mechanism)
 	if err != nil {
 		return nil, err
@@ -224,14 +227,30 @@ func PublishWith(ctx context.Context, mechanism string, freq *Frequency, p Param
 	if err != nil {
 		return nil, err
 	}
+	// ctx is observed again between the mechanism and the post stages,
+	// and once more before the Release is handed out, so a cancelled
+	// publish never releases anything — cancellation inside the
+	// mechanism is chunk-granular (see core), the post stages observe it
+	// at their boundaries.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	noisy := res.Noisy
 	if p.Sanitize {
 		noisy = postprocess.Sanitize(noisy)
 	}
+	// The evaluator build runs on the same worker budget as the
+	// mechanism (NewEvaluatorWorkers resolves ≤ 0 to all cores) and is
+	// bit-identical at any worker count (matrix.PrefixSumExec preserves
+	// every scan's order).
+	eval := query.NewEvaluatorWorkers(noisy, p.Parallelism)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return &Release{
 		schema:  freq.Schema,
 		noisy:   noisy,
-		eval:    query.NewEvaluator(noisy),
+		eval:    eval,
 		eps:     res.Epsilon,
 		rho:     res.Rho,
 		lambda:  res.Lambda,
@@ -350,7 +369,7 @@ func (m basicMech) Publish(ctx context.Context, freq *Frequency, p Params) (*Res
 	if err := m.ValidateParams(freq.Schema, p); err != nil {
 		return nil, err
 	}
-	res, err := baseline.Basic(ctx, freq.M, p.Epsilon, p.Seed)
+	res, err := baseline.Basic(ctx, freq.M, p.Epsilon, p.Seed, p.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -326,6 +326,66 @@ func TestHayMechanismOneDimensional(t *testing.T) {
 	}
 }
 
+// TestReleaseParallelismInvariance asserts the full public pipeline —
+// mechanism, chunked noise injection, and the pooled prefix-sum
+// evaluator build — yields bit-identical releases AND bit-identical
+// query answers at parallelism 1, 4, and GOMAXPROCS. This is the
+// Release-level face of the determinism contract (docs/ARCHITECTURE.md):
+// the matrix-level invariance tests would not notice an evaluator whose
+// pooled build reassociated sums.
+func TestReleaseParallelismInvariance(t *testing.T) {
+	// Large enough that the injection pass spans multiple 64Ki chunks
+	// and the evaluator build fans out for real.
+	const size = 1 << 18
+	pub, err := privelet.NewPublisher(histSchema(t, size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2000; r++ {
+		if err := pub.Add((r * 131) % size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	freq := pub.Frequency()
+	for _, mech := range []string{"basic", "privelet"} {
+		var base *privelet.Release
+		for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			rel, err := privelet.PublishWith(context.Background(), mech, freq,
+				privelet.Params{Epsilon: 1, Seed: 99, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base == nil {
+				base = rel
+				continue
+			}
+			wantM, gotM := base.Matrix().Data(), rel.Matrix().Data()
+			for i := range wantM {
+				if wantM[i] != gotM[i] {
+					t.Fatalf("%s par=%d: released entry %d = %v, serial %v", mech, par, i, gotM[i], wantM[i])
+				}
+			}
+			for _, span := range [][2]int{{0, size - 1}, {100, 5000}, {size / 2, size/2 + 3}} {
+				q, err := rel.NewQuery().Range("Age", span[0], span[1]).Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := base.Count(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := rel.Count(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want != got {
+					t.Fatalf("%s par=%d: Count[%d..%d] = %v, serial %v", mech, par, span[0], span[1], got, want)
+				}
+			}
+		}
+	}
+}
+
 // TestPublishCancelledBeforeStart: an already-cancelled context fails
 // every mechanism without publishing.
 func TestPublishCancelledBeforeStart(t *testing.T) {

@@ -32,7 +32,10 @@ func (r *Release) Save(w io.Writer) error {
 
 // Load reads a release previously written by Save, downloaded from a
 // priveletd /export endpoint, or taken straight from a daemon's
-// -store-dir spill directory — all three share one format.
+// -store-dir spill directory — all three share one format. The query
+// evaluator is rebuilt with all cores (the rebuild is bit-identical at
+// any worker count, so a loaded release answers exactly as the original
+// did).
 func Load(rd io.Reader) (*Release, error) {
 	p, err := store.DecodeRelease(rd)
 	if err != nil {
@@ -41,7 +44,7 @@ func Load(rd io.Reader) (*Release, error) {
 	return &Release{
 		schema:  p.Schema,
 		noisy:   p.Noisy,
-		eval:    query.NewEvaluator(p.Noisy),
+		eval:    query.NewEvaluatorWorkers(p.Noisy, 0), // 0 = all cores
 		eps:     p.Meta.Epsilon,
 		rho:     p.Meta.Rho,
 		lambda:  p.Meta.Lambda,

@@ -90,6 +90,15 @@ func (p *Publisher) Frequency() *Frequency { return p.freq }
 // (see Mechanisms for the registry). The privacy budget is spent per
 // call: publishing the same Publisher twice spends 2ε in total under
 // sequential composition.
+//
+// The whole pipeline behind this call — wavelet transform, Laplace noise
+// injection, and the release's prefix-sum evaluator build — runs on the
+// parallel engine under params.Parallelism. The mechanism stages observe
+// ctx at chunk granularity (roughly every 64Ki entries) and the post
+// stages (sanitize, evaluator build) at their boundaries, so a cancelled
+// publish returns ctx's error, releases nothing, and leaves no
+// goroutines behind. Equal seeds give bit-identical releases at any
+// parallelism; docs/ARCHITECTURE.md states the exact contract.
 func (p *Publisher) Publish(ctx context.Context, mechanism string, params Params) (*Release, error) {
 	return PublishWith(ctx, mechanism, p.freq, params)
 }
