@@ -1,0 +1,68 @@
+package privelet_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	privelet "repro"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// TestCountBatchMatchesCount pins the public batch surface to the
+// serving determinism contract: Release.CountBatch returns answers
+// float64 == to a serial Count loop, in order, at workers 1, 4 and
+// GOMAXPROCS.
+func TestCountBatchMatchesCount(t *testing.T) {
+	occ, err := privelet.ThreeLevelHierarchy(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := privelet.NewSchema(
+		privelet.OrdinalAttr("Age", 16),
+		privelet.NominalAttr("Occ", occ),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := privelet.NewPublisher(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 800; i++ {
+		if err := pub.Add((i*7)%16, (i*5)%6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel, err := pub.Publish(context.Background(), "privelet+", privelet.Params{Epsilon: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := workload.NewGenerator(schema, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := gen.Queries(2500, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, len(queries))
+	for i, q := range queries {
+		if want[i], err = rel.Count(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0), 0} {
+		got, err := rel.CountBatch(context.Background(), queries, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: answer %d = %v, Count gave %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

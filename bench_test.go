@@ -568,6 +568,31 @@ func BenchmarkInjectLaplace(b *testing.B) {
 			}
 		})
 	}
+	// weighted4d stresses the per-entry coordinate bookkeeping itself:
+	// the same 1M entries as weighted, but across four dimensions (the
+	// census shape's dimensionality), where the pass's former per-entry
+	// Coords call paid d divisions per entry and the odometer walk pays
+	// one increment — the shape that shows the delta.
+	wv4 := [][]float64{
+		make([]float64, 16), make([]float64, 16),
+		make([]float64, 64), make([]float64, 64),
+	}
+	for _, v := range wv4 {
+		for i := range v {
+			v[i] = float64(1 + i%7)
+		}
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("weighted4d/workers=%d", workers), func(b *testing.B) {
+			m := matrix.MustNew(16, 16, 64, 64) // 1Mi entries
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := privacy.InjectLaplaceCtx(context.Background(), m, wv4, 2, uint64(i), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkPrefixSum measures the summed-area-table build — the query
@@ -602,6 +627,34 @@ func BenchmarkPrefixSum(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkQueryBatch measures the batch query engine at the paper's
+// workload scale — 40 000 random §VII-A queries against the 4-D census
+// release — at fixed worker counts. Answers are bit-identical across
+// worker counts (the batch determinism contract), so the counts differ
+// only in wall clock; BENCH_query.json records the baseline (with the
+// usual 1-core-container caveat).
+func BenchmarkQueryBatch(b *testing.B) {
+	m, schema := benchCensusMatrix(b)
+	ev := query.NewEvaluatorWorkers(m, 0)
+	gen, err := workload.NewGenerator(schema, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := gen.Queries(40_000, rng.New(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("40k/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (query.Batch{Eval: ev, Workers: workers}).Execute(context.Background(), queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

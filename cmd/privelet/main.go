@@ -24,6 +24,17 @@
 // coordinates followed by its noisy count. -save additionally writes the
 // release in the binary codec format that priveletd's /export endpoint,
 // its spill files, and privelet.Load all share.
+//
+// Saved releases are also queryable offline: -load reads a codec
+// artifact (no raw data, no schema flag needed) and either dumps its
+// matrix as CSV or — with -query — answers a whole workload file, one
+// query spec per line in the shared wire format (the server's q=
+// grammar: Age=30..49, Occ=@g3, Occ=#3..5), one answer per line out:
+//
+//	privelet -load release.prvl -query workload.csv -out answers.csv
+//
+// The workload fans across -parallelism workers; answers are
+// bit-identical at any worker count and to the daemon's batch endpoint.
 package main
 
 import (
@@ -33,10 +44,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	privelet "repro"
 	"repro/internal/cli"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -51,11 +64,33 @@ func main() {
 		sanitize   = flag.Bool("sanitize", false, "round the release to non-negative integers")
 		mechName   = flag.String("mechanism", "privelet+",
 			fmt.Sprintf("publishing mechanism, one of %s", strings.Join(privelet.Mechanisms(), "|")))
-		basic   = flag.Bool("basic", false, "deprecated: alias for -mechanism basic")
-		workers = flag.Int("parallelism", 0, "publish worker goroutines (0 = all cores); never changes the release")
+		basic    = flag.Bool("basic", false, "deprecated: alias for -mechanism basic")
+		workers  = flag.Int("parallelism", 0, "worker goroutines (0 = all cores); never changes a release or an answer")
+		loadPath = flag.String("load", "", "read a saved release (codec format) instead of publishing; schema comes from the artifact")
+		quePath  = flag.String("query", "", "workload file (one query spec per line) to answer against the -load release")
 	)
 	flag.Parse()
 
+	if *loadPath != "" {
+		// A loaded release is finished: every publish-time flag would be
+		// silently dead, so reject them loudly rather than let a user
+		// believe -sanitize or a different -epsilon applied.
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "schema", "in", "epsilon", "sa", "seed", "sanitize", "mechanism", "basic", "save":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fatal(fmt.Errorf("-load reads a finished release; publish flag(s) %s do not apply", strings.Join(conflicts, ", ")))
+		}
+		runOffline(*loadPath, *quePath, *outPath, *workers)
+		return
+	}
+	if *quePath != "" {
+		fatal(fmt.Errorf("-query needs -load (it answers a workload against a saved release)"))
+	}
 	if *schemaSpec == "" {
 		fatal(fmt.Errorf("-schema is required"))
 	}
@@ -152,6 +187,71 @@ func main() {
 	if err := writeMatrixCSV(out, rel.Matrix()); err != nil {
 		fatal(err)
 	}
+}
+
+// runOffline works from a saved release artifact instead of raw data:
+// with a workload file it answers every query (one full-precision answer
+// per line, in workload order), without one it dumps the noisy matrix as
+// CSV — the same output a publish writes.
+func runOffline(loadPath, quePath, outPath string, workers int) {
+	f, err := os.Open(loadPath)
+	if err != nil {
+		fatal(err)
+	}
+	rel, err := privelet.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	out := io.Writer(os.Stdout)
+	if outPath != "" {
+		of, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := of.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = of
+	}
+
+	if quePath == "" {
+		if err := writeMatrixCSV(out, rel.Matrix()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	qf, err := os.Open(quePath)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := workload.ReadPlan(rel.Schema(), qf)
+	qf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	answers, err := rel.CountBatch(context.Background(), plan.Queries(), workers)
+	if err != nil {
+		fatal(err)
+	}
+	bw := bufio.NewWriter(out)
+	for _, a := range answers {
+		// 'g'/-1 round-trips the exact float64, so piped answers stay
+		// bit-identical to the evaluator's.
+		if _, err := bw.WriteString(strconv.FormatFloat(a, 'g', -1, 64)); err != nil {
+			fatal(err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "privelet: answered %d queries (%s)\n", plan.Len(), rel)
 }
 
 // writeMatrixCSV emits coordinates plus noisy count per entry.

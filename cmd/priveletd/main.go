@@ -10,6 +10,11 @@
 //	# query it as often as you like
 //	curl 'localhost:8080/releases/r1/count?q=Age=30..49'
 //
+//	# or a whole workload in one request (one query spec per line);
+//	# answers are bit-identical to per-query /count calls at any
+//	# ?parallelism=
+//	curl --data-binary @workload.csv 'localhost:8080/releases/r1/query?parallelism=4'
+//
 //	# withdraw a release and reclaim its disk space
 //	curl -X DELETE 'localhost:8080/releases/r1'
 //

@@ -122,6 +122,16 @@
 // its /export endpoint, its spill files, and Save/Load are
 // byte-compatible with each other.
 //
+// Query serving is batch-first, matching the paper's evaluation shape
+// (§VII answers 40 000 queries per experiment): Release.CountBatch fans
+// a query slice across a worker pool with answers bit-identical
+// (float64 ==) to a serial Count loop at any worker count, the daemon's
+// POST /releases/{id}/query endpoint answers a whole workload body in
+// one request, and cmd/privelet -load/-query does the same for saved
+// artifacts — all three run internal/query's plan→execute pipeline over
+// one shared workload wire format (one predicate spec per line, or
+// JSON; see docs/ARCHITECTURE.md's "Query serving" section).
+//
 // # Security note
 //
 // This library reproduces the paper's mechanisms for research and

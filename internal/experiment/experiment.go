@@ -144,19 +144,21 @@ func RunAccuracy(spec dataset.CensusSpec, prof Profile, metric Metric) (*Accurac
 	if err != nil {
 		return nil, err
 	}
-	actuals := make([]float64, len(queries))
+	// Ground truth and noisy answers both run on the batch executor the
+	// serving layer uses (query.Batch): answers are bit-identical to a
+	// serial Count loop at any worker count, so sharing the pipeline
+	// costs the experiment nothing in reproducibility.
+	actuals, err := query.Batch{Eval: truth}.Execute(context.Background(), queries)
+	if err != nil {
+		return nil, err
+	}
 	keys := make([]float64, len(queries))
 	for i, q := range queries {
-		a, err := truth.Count(q)
-		if err != nil {
-			return nil, err
-		}
-		actuals[i] = a
 		switch metric {
 		case SquareErrorByCoverage:
 			keys[i] = q.Coverage()
 		case RelativeErrorBySelectivity:
-			keys[i] = a / float64(prof.Tuples)
+			keys[i] = actuals[i] / float64(prof.Tuples)
 		default:
 			return nil, fmt.Errorf("experiment: unknown metric %v", metric)
 		}
@@ -177,27 +179,24 @@ func RunAccuracy(spec dataset.CensusSpec, prof Profile, metric Metric) (*Accurac
 		if err != nil {
 			return nil, err
 		}
-		bEval := query.NewEvaluatorWorkers(bres.Noisy, 0)
-		pEval := query.NewEvaluatorWorkers(pres.Noisy, 0)
-
+		bAns, err := query.Batch{Eval: query.NewEvaluatorWorkers(bres.Noisy, 0)}.Execute(context.Background(), queries)
+		if err != nil {
+			return nil, err
+		}
+		pAns, err := query.Batch{Eval: query.NewEvaluatorWorkers(pres.Noisy, 0)}.Execute(context.Background(), queries)
+		if err != nil {
+			return nil, err
+		}
 		bErrs := make([]float64, len(queries))
 		pErrs := make([]float64, len(queries))
-		for i, q := range queries {
-			bv, err := bEval.Count(q)
-			if err != nil {
-				return nil, err
-			}
-			pv, err := pEval.Count(q)
-			if err != nil {
-				return nil, err
-			}
+		for i := range queries {
 			switch metric {
 			case SquareErrorByCoverage:
-				bErrs[i] = workload.SquareError(bv, actuals[i])
-				pErrs[i] = workload.SquareError(pv, actuals[i])
+				bErrs[i] = workload.SquareError(bAns[i], actuals[i])
+				pErrs[i] = workload.SquareError(pAns[i], actuals[i])
 			case RelativeErrorBySelectivity:
-				bErrs[i] = workload.RelativeError(bv, actuals[i], sanity)
-				pErrs[i] = workload.RelativeError(pv, actuals[i], sanity)
+				bErrs[i] = workload.RelativeError(bAns[i], actuals[i], sanity)
+				pErrs[i] = workload.RelativeError(pAns[i], actuals[i], sanity)
 			}
 		}
 		bBins, err := workload.QuintileBins(keys, bErrs, prof.Bins)

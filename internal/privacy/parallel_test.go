@@ -84,6 +84,58 @@ func TestInjectLaplaceParallelismInvariance(t *testing.T) {
 	}
 }
 
+// TestInjectLaplaceMatchesCoordsReference pins the weighted pass's
+// odometer walk against the definition it optimizes: entry at flat
+// offset off receives Laplace(λ/∏ᵢ wv[i][cᵢ]) — coordinates recovered by
+// per-entry division — drawn in offset order from its chunk's substream,
+// zero-weight entries consuming no draw. The parallelism-invariance
+// tests compare the implementation to itself and would miss a walk that
+// drifted from the coordinate definition; this reference would not.
+func TestInjectLaplaceMatchesCoordsReference(t *testing.T) {
+	const seed, lambda = 99, 1.75
+	dims := []int{3, 4, NoiseChunk/8 + 37} // ~1.5 chunks, odometer carries across two dims
+	wv := [][]float64{
+		{1, 0.25, 3},
+		{2, 0, 1, 0.5},
+		make([]float64, dims[2]),
+	}
+	for i := range wv[2] {
+		wv[2][i] = float64(1 + i%13)
+		if i%17 == 0 {
+			wv[2][i] = 0
+		}
+	}
+	got := matrix.MustNew(dims...)
+	fillSequential(got)
+	if err := InjectLaplace(got, wv, lambda, seed); err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.MustNew(dims...)
+	fillSequential(want)
+	data := want.Data()
+	coords := make([]int, len(dims))
+	for k := 0; k*NoiseChunk < len(data); k++ {
+		src := rng.Substream(seed, uint64(k))
+		lo := k * NoiseChunk
+		for off := lo; off < min(lo+NoiseChunk, len(data)); off++ {
+			want.Coords(off, coords)
+			w := 1.0
+			for i, ci := range coords {
+				w *= wv[i][ci]
+			}
+			if w == 0 {
+				continue
+			}
+			data[off] += src.Laplace(lambda / w)
+		}
+	}
+	for i, v := range got.Data() {
+		if v != data[i] {
+			t.Fatalf("entry %d = %v, reference %v", i, v, data[i])
+		}
+	}
+}
+
 // TestInjectLaplaceUniformChunkNumbering pins the contract itself, not
 // just self-consistency: entry i's noise comes from the i-th position of
 // rng.Substream(seed, i/NoiseChunk). If the numbering scheme ever

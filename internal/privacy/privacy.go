@@ -285,21 +285,42 @@ func InjectLaplaceCtx(ctx context.Context, c *matrix.Matrix, weightVecs [][]floa
 		}
 	}
 	data := c.Data()
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = c.Dim(i)
+	}
 	return forEachChunk(ctx, len(data), workers, func(k, lo, hi int) {
 		src := rng.Substream(seed, uint64(k))
+		// Entry coordinates advance by an odometer walk: one division
+		// chain per chunk (the seed position), then an increment per
+		// entry — not a d-division Coords call per entry. The weight
+		// product is carried alongside as running prefix products,
+		// prefix[i+1] = prefix[i]·weightVecs[i][coords[i]], rebuilt from
+		// the lowest dimension the increment touched; the final product
+		// prefix[d] multiplies in the same left-to-right order as a
+		// per-entry loop, so the noise stream is bit-identical to the
+		// pre-odometer pass (pinned by a reference test).
 		coords := make([]int, d)
-		// With d ≤ ~6 recomputing the weight product per entry is cheap
-		// next to the Laplace draw's log.
+		c.Coords(lo, coords)
+		prefix := make([]float64, d+1)
+		prefix[0] = 1
+		for i := 0; i < d; i++ {
+			prefix[i+1] = prefix[i] * weightVecs[i][coords[i]]
+		}
 		for off := lo; off < hi; off++ {
-			c.Coords(off, coords)
-			w := 1.0
-			for i, ci := range coords {
-				w *= weightVecs[i][ci]
+			if w := prefix[d]; w != 0 {
+				data[off] += src.Laplace(lambda / w)
 			}
-			if w == 0 {
-				continue
+			for i := d - 1; i >= 0; i-- {
+				coords[i]++
+				if coords[i] < dims[i] {
+					for j := i; j < d; j++ {
+						prefix[j+1] = prefix[j] * weightVecs[j][coords[j]]
+					}
+					break
+				}
+				coords[i] = 0
 			}
-			data[off] += src.Laplace(lambda / w)
 		}
 	})
 }

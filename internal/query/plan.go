@@ -1,0 +1,270 @@
+// Plan → execute pipeline for batch query serving. The paper's
+// experiments answer 40 000-query workloads per release (§VII-A), so the
+// serving layer treats the workload as the first-class object the way
+// matrix-mechanism systems do: Parse normalizes one textual predicate
+// spec into a Query (every predicate is a contiguous leaf interval under
+// the hierarchy's imposed order, §V-A), a Plan accumulates a validated
+// batch against one schema, and Batch fans the plan across a worker pool
+// over a summed-area Evaluator.
+//
+// Determinism: every query's answer is a pure function of the evaluator's
+// table — Count reads, never writes — so fanning queries across workers
+// reorders only the computation, not any floating-point arithmetic.
+// Batch.Execute is therefore bit-identical (float64 ==) to a serial loop
+// at any worker count, the serving-side analogue of the publish engine's
+// determinism contract (docs/ARCHITECTURE.md), and property-tested the
+// same way.
+
+package query
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+)
+
+// Parse normalizes one textual query spec into a Query against schema.
+// The grammar — shared by the server's q= parameter, the batch-query
+// wire format, and cmd/privelet workload files — is comma-separated
+// predicates:
+//
+//	Age=30..49        ordinal interval (inclusive)
+//	Occupation=@g3    nominal hierarchy node (roll-up)
+//	Gender=#1         nominal single leaf by position
+//	Occupation=#3..5  leaf-position interval (the §V-A normalized form)
+//
+// An empty string or "*" is the full-domain query. Every failure —
+// malformed predicate, unknown attribute, inverted or out-of-domain
+// interval, wrong-kind predicate (e.g. a lo..hi range on a nominal
+// attribute) — wraps ErrInvalid, so callers can map parse failures to
+// client errors with errors.Is.
+func Parse(schema *dataset.Schema, raw string) (Query, error) {
+	b := NewBuilder(schema)
+	raw = strings.TrimSpace(raw)
+	if raw == "" || raw == "*" {
+		return b.Build()
+	}
+	for _, clause := range strings.Split(raw, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Query{}, invalidf("query: predicate %q: want Attr=spec", clause)
+		}
+		name = strings.TrimSpace(name)
+		val = strings.TrimSpace(val)
+		switch {
+		case strings.HasPrefix(val, "@"):
+			b.Node(name, val[1:])
+		case strings.HasPrefix(val, "#"):
+			loStr, hiStr, isInterval := strings.Cut(val[1:], "..")
+			if !isInterval {
+				leaf, err := strconv.Atoi(val[1:])
+				if err != nil {
+					return Query{}, invalidf("query: predicate %q: bad leaf: %v", clause, err)
+				}
+				b.Leaf(name, leaf)
+				continue
+			}
+			lo, hi, err := parseBounds(clause, loStr, hiStr)
+			if err != nil {
+				return Query{}, err
+			}
+			i, err := schema.Index(name)
+			if err != nil {
+				return Query{}, invalidf("query: %v", err)
+			}
+			// Both '#' forms are nominal-only, symmetrically: ordinal
+			// attributes use the plain lo..hi range.
+			if schema.Attr(i).Kind != dataset.Nominal {
+				return Query{}, invalidf("query: predicate %q: leaf interval on non-nominal attribute %q (use lo..hi)", clause, name)
+			}
+			b.Interval(i, lo, hi)
+		default:
+			loStr, hiStr, isInterval := strings.Cut(val, "..")
+			if !isInterval {
+				return Query{}, invalidf("query: predicate %q: want lo..hi, @node, #leaf or #lo..hi", clause)
+			}
+			lo, hi, err := parseBounds(clause, loStr, hiStr)
+			if err != nil {
+				return Query{}, err
+			}
+			b.Range(name, lo, hi)
+		}
+	}
+	return b.Build()
+}
+
+// parseBounds parses the two integers of a lo..hi interval spec.
+func parseBounds(clause, loStr, hiStr string) (lo, hi int, err error) {
+	lo, err = strconv.Atoi(strings.TrimSpace(loStr))
+	if err != nil {
+		return 0, 0, invalidf("query: predicate %q: bad lo: %v", clause, err)
+	}
+	hi, err = strconv.Atoi(strings.TrimSpace(hiStr))
+	if err != nil {
+		return 0, 0, invalidf("query: predicate %q: bad hi: %v", clause, err)
+	}
+	return lo, hi, nil
+}
+
+// Plan is a validated, normalized batch of range-count queries against
+// one schema — a workload, as an object. Build one incrementally with
+// Add (one spec at a time, so callers can stream a workload body without
+// buffering its text) or AddQuery, then hand Queries() to Batch.
+type Plan struct {
+	schema  *dataset.Schema
+	queries []Query
+}
+
+// NewPlan returns an empty plan against schema.
+func NewPlan(schema *dataset.Schema) *Plan {
+	return &Plan{schema: schema}
+}
+
+// Add parses one spec (Parse grammar) and appends the resulting query.
+// Errors wrap ErrInvalid and leave the plan unchanged.
+func (p *Plan) Add(spec string) error {
+	q, err := Parse(p.schema, spec)
+	if err != nil {
+		return err
+	}
+	p.queries = append(p.queries, q)
+	return nil
+}
+
+// AddQuery appends an already-built query. The caller is responsible for
+// having built it against this plan's schema.
+func (p *Plan) AddQuery(q Query) {
+	p.queries = append(p.queries, q)
+}
+
+// Len returns the number of queries in the plan.
+func (p *Plan) Len() int { return len(p.queries) }
+
+// Query returns the i-th query.
+func (p *Plan) Query(i int) Query { return p.queries[i] }
+
+// Queries returns the plan's backing query slice (not a copy, so a batch
+// execution adds no per-workload allocation); callers must treat it as
+// read-only.
+func (p *Plan) Queries() []Query { return p.queries }
+
+// Schema returns the schema the plan's queries were validated against.
+func (p *Plan) Schema() *dataset.Schema { return p.schema }
+
+// batchCancelCheck is roughly how many queries a batch worker answers
+// between context checks: one Count costs 2^d table lookups (well under
+// a microsecond), so a ~thousand-query granule keeps the check free
+// while a cancelled 40k-query batch still stops within a millisecond.
+const batchCancelCheck = 1024
+
+// Batch executes query workloads against one evaluator with a worker
+// pool. Workers follows the codebase-wide knob convention
+// (matrix.ResolveWorkers): ≤ 0 — including the zero value — means all
+// cores; set Workers to 1 for strictly serial execution.
+//
+// Answers are bit-identical (float64 ==) to a serial Count loop at any
+// worker count: queries split into contiguous index ranges, each answer
+// lands in its own slot, and no floating-point operation depends on the
+// split. The evaluator is immutable and safe for concurrent use, so a
+// batch may run while the release store evicts or reloads the release —
+// a held Evaluator stays valid (internal/store's eviction only drops the
+// store's own references).
+type Batch struct {
+	// Eval answers the individual queries.
+	Eval *Evaluator
+	// Workers caps the fan-out; ≤ 0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Execute answers every query, in input order. ctx is observed about
+// every batchCancelCheck queries; on cancellation Execute returns ctx's
+// error and no answers. A per-query failure (a query built against a
+// different schema than the evaluator's matrix) aborts the batch with
+// the lowest-index error, deterministically at any worker count.
+func (b Batch) Execute(ctx context.Context, queries []Query) ([]float64, error) {
+	if b.Eval == nil {
+		return nil, fmt.Errorf("query: Batch.Execute without an Evaluator")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(queries)
+	answers := make([]float64, n)
+	workers := matrix.ResolveWorkers(b.Workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if err := b.executeRange(ctx, queries, answers, 0, n); err != nil {
+			return nil, err
+		}
+		return answers, nil
+	}
+	// Contiguous ranges, one per worker: range membership is a pure
+	// function of (n, workers), mirroring matrix.forEachRange, and every
+	// worker writes disjoint answer slots.
+	type failure struct {
+		idx int
+		err error
+	}
+	fails := make(chan failure, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if err := b.executeRange(ctx, queries, answers, lo, hi); err != nil {
+				fails <- failure{lo, err}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	close(fails)
+	// Several workers may fail (e.g. a cancel reaches all of them);
+	// report the lowest-range one so the error is deterministic.
+	var first *failure
+	for f := range fails {
+		if first == nil || f.idx < first.idx {
+			f := f
+			first = &f
+		}
+	}
+	if first != nil {
+		return nil, first.err
+	}
+	return answers, nil
+}
+
+// executeRange answers queries [lo, hi) into the matching answer slots,
+// observing ctx about every batchCancelCheck queries. The error of query
+// i is reported before any error of query j > i, so the serial path and
+// each pooled worker fail deterministically.
+func (b Batch) executeRange(ctx context.Context, queries []Query, answers []float64, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		if (i-lo)%batchCancelCheck == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		a, err := b.Eval.Count(queries[i])
+		if err != nil {
+			return fmt.Errorf("query: batch query %d: %w", i, err)
+		}
+		answers[i] = a
+	}
+	return nil
+}

@@ -14,14 +14,35 @@
 // frequency matrix directly, and an Evaluator answers from a precomputed
 // summed-area table in O(2^d) per query — the only way to push the
 // paper's 40 000-query workloads through multi-million-entry matrices.
+//
+// Serving the paper's workloads (§VII runs 40 000 queries per
+// experiment) treats the workload, not the single query, as the
+// first-class object: Parse turns one textual predicate spec into a
+// Query, a Plan accumulates a validated batch of them against one
+// schema, and Batch fans a plan across a worker pool over an Evaluator
+// with answers bit-identical (float64 ==) to a serial loop. See plan.go.
 package query
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/matrix"
 )
+
+// ErrInvalid tags every query-construction and parse failure: inverted
+// ranges, unknown attribute names, wrong-kind predicates, out-of-domain
+// bounds, malformed predicate syntax. API layers test with errors.Is to
+// map "the query is bad" (a client error, HTTP 400) apart from "the
+// engine failed" (a server error, HTTP 500) without string matching.
+var ErrInvalid = errors.New("invalid query")
+
+// invalidf builds an error wrapping ErrInvalid.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrInvalid)...)
+}
 
 // Query is a normalized range-count query: one inclusive interval per
 // attribute of the schema it was built against.
@@ -63,6 +84,36 @@ func (q Query) Coverage() float64 {
 	return covered / q.domain
 }
 
+// Spec renders the query in the textual wire format Parse reads (see
+// Parse for the grammar): comma-separated predicates for the constrained
+// attributes, `Name=lo..hi` for ordinal intervals and `Name=#lo..hi`
+// (leaf positions in the hierarchy's imposed order, §V-A) for nominal
+// ones; a query with no constrained attribute renders as "*". The round
+// trip Parse(schema, q.Spec(schema)) reproduces q's intervals exactly.
+// schema must be the schema the query was built against.
+func (q Query) Spec(schema *dataset.Schema) string {
+	var sb strings.Builder
+	for i, c := range q.constrained {
+		if !c {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		a := schema.Attr(i)
+		sb.WriteString(a.Name)
+		sb.WriteByte('=')
+		if a.Kind == dataset.Nominal {
+			sb.WriteByte('#')
+		}
+		fmt.Fprintf(&sb, "%d..%d", q.lo[i], q.hi[i])
+	}
+	if sb.Len() == 0 {
+		return "*"
+	}
+	return sb.String()
+}
+
 // Builder assembles a Query against a schema.
 type Builder struct {
 	schema *dataset.Schema
@@ -97,16 +148,16 @@ func (b *Builder) Range(attr string, lo, hi int) *Builder {
 	}
 	i, err := b.schema.Index(attr)
 	if err != nil {
-		b.err = err
+		b.err = invalidf("query: %v", err)
 		return b
 	}
 	a := b.schema.Attr(i)
 	if a.Kind != dataset.Ordinal {
-		b.err = fmt.Errorf("query: Range on non-ordinal attribute %q (use Node or Leaf)", attr)
+		b.err = invalidf("query: Range on non-ordinal attribute %q (use Node or Leaf)", attr)
 		return b
 	}
 	if lo < 0 || hi >= a.Size || lo > hi {
-		b.err = fmt.Errorf("query: Range [%d,%d] invalid for attribute %q of size %d", lo, hi, attr, a.Size)
+		b.err = invalidf("query: Range [%d,%d] invalid for attribute %q of size %d", lo, hi, attr, a.Size)
 		return b
 	}
 	b.q.lo[i], b.q.hi[i] = lo, hi
@@ -122,17 +173,17 @@ func (b *Builder) Node(attr, label string) *Builder {
 	}
 	i, err := b.schema.Index(attr)
 	if err != nil {
-		b.err = err
+		b.err = invalidf("query: %v", err)
 		return b
 	}
 	a := b.schema.Attr(i)
 	if a.Kind != dataset.Nominal {
-		b.err = fmt.Errorf("query: Node on non-nominal attribute %q (use Range)", attr)
+		b.err = invalidf("query: Node on non-nominal attribute %q (use Range)", attr)
 		return b
 	}
 	n := a.Hier.Find(label)
 	if n == nil {
-		b.err = fmt.Errorf("query: attribute %q has no hierarchy node %q", attr, label)
+		b.err = invalidf("query: attribute %q has no hierarchy node %q", attr, label)
 		return b
 	}
 	b.q.lo[i], b.q.hi[i] = a.Hier.LeafInterval(n)
@@ -148,16 +199,16 @@ func (b *Builder) Leaf(attr string, leaf int) *Builder {
 	}
 	i, err := b.schema.Index(attr)
 	if err != nil {
-		b.err = err
+		b.err = invalidf("query: %v", err)
 		return b
 	}
 	a := b.schema.Attr(i)
 	if a.Kind != dataset.Nominal {
-		b.err = fmt.Errorf("query: Leaf on non-nominal attribute %q (use Range)", attr)
+		b.err = invalidf("query: Leaf on non-nominal attribute %q (use Range)", attr)
 		return b
 	}
 	if leaf < 0 || leaf >= a.Size {
-		b.err = fmt.Errorf("query: leaf %d out of [0,%d) for attribute %q", leaf, a.Size, attr)
+		b.err = invalidf("query: leaf %d out of [0,%d) for attribute %q", leaf, a.Size, attr)
 		return b
 	}
 	b.q.lo[i], b.q.hi[i] = leaf, leaf
@@ -173,12 +224,12 @@ func (b *Builder) Interval(i, lo, hi int) *Builder {
 		return b
 	}
 	if i < 0 || i >= b.schema.NumAttrs() {
-		b.err = fmt.Errorf("query: attribute index %d out of range", i)
+		b.err = invalidf("query: attribute index %d out of range", i)
 		return b
 	}
 	a := b.schema.Attr(i)
 	if lo < 0 || hi >= a.Size || lo > hi {
-		b.err = fmt.Errorf("query: interval [%d,%d] invalid for attribute %q of size %d", lo, hi, a.Name, a.Size)
+		b.err = invalidf("query: interval [%d,%d] invalid for attribute %q of size %d", lo, hi, a.Name, a.Size)
 		return b
 	}
 	b.q.lo[i], b.q.hi[i] = lo, hi

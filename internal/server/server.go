@@ -26,15 +26,28 @@
 //	GET    /releases/{id}                         → one summary
 //	DELETE /releases/{id}                         → withdraw release, delete spill file
 //	GET    /releases/{id}/count?q=...             → {"count": ...}
+//	POST   /releases/{id}/query?parallelism=...   → {"answers": [...], ...}
+//	       body: workload — one query spec per line, or JSON
+//	       ["spec", ...] / {"queries": [...]} with Content-Type
+//	       application/json
 //	GET    /releases/{id}/export                  → binary codec payload
 //	GET    /mechanisms                            → registered mechanism names
 //	GET    /stats                                 → store accounting (evictions, reloads, ...)
 //
-// Query syntax (q parameter): comma-separated predicates,
+// Query syntax (the q parameter and each workload spec; internal/query's
+// Parse grammar): comma-separated predicates,
 //
 //	Age=30..49        ordinal interval (inclusive)
 //	Occupation=@g3    nominal hierarchy node (roll-up)
 //	Gender=#1         nominal single leaf by position
+//	Occupation=#3..5  leaf-position interval (the wire form of a roll-up)
+//
+// Both query endpoints run the same plan→execute pipeline
+// (internal/query's Plan and Batch): the count endpoint is the
+// one-query case of the batch endpoint, and batch answers are
+// bit-identical (float64 ==) to issuing the same specs as sequential
+// /count calls — at any ?parallelism=. A malformed or out-of-schema
+// query spec is a client error (HTTP 400, query.ErrInvalid) on both.
 package server
 
 import (
@@ -43,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
 	"strings"
@@ -54,6 +68,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/query"
 	"repro/internal/store"
+	"repro/internal/workload"
 )
 
 // Config configures a Server.
@@ -140,6 +155,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /releases/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /releases/{id}", s.handleDelete)
 	mux.HandleFunc("GET /releases/{id}/count", s.handleCount)
+	mux.HandleFunc("POST /releases/{id}/query", s.handleBatchQuery)
 	mux.HandleFunc("GET /releases/{id}/export", s.handleExport)
 	mux.HandleFunc("GET /mechanisms", s.handleMechanisms)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -221,26 +237,10 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 	if mechName == "basic" {
 		sa = nil
 	}
-	// Publish worker count: requests may lower it below the ceiling —
-	// the operator's Config.Parallelism when set, capped at the
-	// machine's core count — but never raise it. An omitted or
-	// non-positive parameter means the ceiling itself, so ?parallelism=0
-	// and no parameter behave identically and a client cannot launder
-	// 0/-1 into more workers than the operator allows.
-	ceiling := runtime.GOMAXPROCS(0)
-	if s.parallelism > 0 && s.parallelism < ceiling {
-		ceiling = s.parallelism
-	}
-	par := ceiling
-	if v := qp.Get("parallelism"); v != "" {
-		p, err := strconv.Atoi(v)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad parallelism: "+err.Error())
-			return
-		}
-		if p > 0 && p < ceiling {
-			par = p
-		}
+	par, err := s.workerBudget(qp)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 
 	// Reject parameter/mechanism mismatches before reading the body —
@@ -305,6 +305,32 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 // statusClientClosedRequest is nginx's conventional status for requests
 // aborted by the client; net/http has no official constant for it.
 const statusClientClosedRequest = 499
+
+// workerBudget resolves a request's parallelism parameter against the
+// operator's ceiling — Config.Parallelism when set, capped at the
+// machine's core count. Requests may lower the worker count below the
+// ceiling but never raise it; an omitted or non-positive parameter means
+// the ceiling itself, so ?parallelism=0 and no parameter behave
+// identically and a client cannot launder 0/-1 into more workers than
+// the operator allows. Shared by publish and batch query, so one knob
+// governs every request-driven fan-out.
+func (s *Server) workerBudget(qp url.Values) (int, error) {
+	ceiling := runtime.GOMAXPROCS(0)
+	if s.parallelism > 0 && s.parallelism < ceiling {
+		ceiling = s.parallelism
+	}
+	par := ceiling
+	if v := qp.Get("parallelism"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("bad parallelism: %v", err)
+		}
+		if p > 0 && p < ceiling {
+			par = p
+		}
+	}
+	return par, nil
+}
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	stubs := s.store.List()
@@ -377,20 +403,84 @@ func (s *Server) handleCount(w http.ResponseWriter, req *http.Request) {
 	if !ok {
 		return
 	}
-	q, err := ParseQuery(rel.Payload.Schema, req.URL.Query().Get("q"))
+	q, err := query.Parse(rel.Payload.Schema, req.URL.Query().Get("q"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	count, err := rel.Eval.Count(q)
+	// The one-query case of the batch pipeline: the same executor the
+	// workload endpoint fans out, so the two endpoints cannot drift
+	// (bit-identity pinned by tests).
+	answers, err := query.Batch{Eval: rel.Eval, Workers: 1}.Execute(req.Context(), []query.Query{q})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, queryStatus(err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"count":    count,
+		"count":    answers[0],
 		"coverage": q.Coverage(),
 	})
+}
+
+// handleBatchQuery answers a whole workload in one request — the
+// paper's serving shape (§VII runs 40 000 queries per experiment), for
+// which per-query HTTP round trips would dominate the 2^d-lookup
+// answers. The body streams through the workload wire format (one spec
+// per line, or JSON with Content-Type application/json) into a
+// query.Plan — the text is never buffered — and executes on a
+// query.Batch worker pool capped by the operator's parallelism ceiling.
+// Answers are returned in input order, bit-identical to issuing the
+// same specs as sequential /count calls.
+func (s *Server) handleBatchQuery(w http.ResponseWriter, req *http.Request) {
+	rel, ok := s.lookup(w, req)
+	if !ok {
+		return
+	}
+	par, err := s.workerBudget(req.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	schema := rel.Payload.Schema
+	body := http.MaxBytesReader(w, req.Body, s.maxBody)
+	var plan *query.Plan
+	if ct := req.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		plan, err = workload.ReadPlanJSON(schema, body)
+	} else {
+		plan, err = workload.ReadPlan(schema, body)
+	}
+	if err != nil {
+		// Whatever went wrong — a bad spec, malformed JSON, an oversized
+		// or truncated body — the request body is the client's.
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	answers, err := query.Batch{Eval: rel.Eval, Workers: par}.Execute(req.Context(), plan.Queries())
+	if err != nil {
+		httpError(w, queryStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries": plan.Len(),
+		"workers": par,
+		"answers": answers,
+	})
+}
+
+// queryStatus maps a query-pipeline error onto an HTTP status: a bad
+// query is the client's fault (400, tagged query.ErrInvalid), a
+// cancelled request is the client gone (499), anything else is the
+// server's (500) — never a 500 for a malformed predicate, never a 400
+// masking an engine failure.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, query.ErrInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func (s *Server) handleExport(w http.ResponseWriter, req *http.Request) {
@@ -409,51 +499,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.store.Stats())
 }
 
-// ParseQuery parses the q= syntax: comma-separated predicates of the
-// forms Attr=lo..hi (ordinal), Attr=@label (hierarchy node), Attr=#leaf
-// (nominal leaf index). An empty string is the full-domain query.
+// ParseQuery parses the q= syntax. It is a thin alias kept for
+// compatibility: the grammar moved to query.Parse, where the batch wire
+// format and the CLI share it (one parser, one set of typed errors).
 func ParseQuery(schema *dataset.Schema, raw string) (query.Query, error) {
-	b := query.NewBuilder(schema)
-	if strings.TrimSpace(raw) == "" {
-		return b.Build()
-	}
-	for _, clause := range strings.Split(raw, ",") {
-		clause = strings.TrimSpace(clause)
-		if clause == "" {
-			continue
-		}
-		name, val, ok := strings.Cut(clause, "=")
-		if !ok {
-			return query.Query{}, fmt.Errorf("server: predicate %q: want Attr=spec", clause)
-		}
-		name = strings.TrimSpace(name)
-		val = strings.TrimSpace(val)
-		switch {
-		case strings.HasPrefix(val, "@"):
-			b.Node(name, val[1:])
-		case strings.HasPrefix(val, "#"):
-			leaf, err := strconv.Atoi(val[1:])
-			if err != nil {
-				return query.Query{}, fmt.Errorf("server: predicate %q: bad leaf: %w", clause, err)
-			}
-			b.Leaf(name, leaf)
-		default:
-			loStr, hiStr, ok := strings.Cut(val, "..")
-			if !ok {
-				return query.Query{}, fmt.Errorf("server: predicate %q: want lo..hi, @node or #leaf", clause)
-			}
-			lo, err := strconv.Atoi(strings.TrimSpace(loStr))
-			if err != nil {
-				return query.Query{}, fmt.Errorf("server: predicate %q: bad lo: %w", clause, err)
-			}
-			hi, err := strconv.Atoi(strings.TrimSpace(hiStr))
-			if err != nil {
-				return query.Query{}, fmt.Errorf("server: predicate %q: bad hi: %w", clause, err)
-			}
-			b.Range(name, lo, hi)
-		}
-	}
-	return b.Build()
+	return query.Parse(schema, raw)
 }
 
 func allNames(s *dataset.Schema) []string {

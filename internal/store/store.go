@@ -87,6 +87,12 @@ type Config struct {
 // (by value, so the resident fast path never heap-allocates). The
 // pointers remain valid (and immutable) even if the store evicts the
 // release afterwards; eviction only drops the store's own references.
+// This is what lets a batch execution (query.Batch) hold one Release
+// across a whole 40k-query workload while the store churns: a handle
+// obtained before, during, or after an evict/reload cycle answers every
+// query bit-identically (float64 ==), since decode is bit-exact and the
+// evaluator rebuild is deterministic — property-tested under concurrent
+// churn in batch_test.go.
 type Release struct {
 	// ID is the store-wide release identifier.
 	ID string

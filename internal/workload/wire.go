@@ -1,0 +1,162 @@
+// Wire format for query workloads. Experiments (§VII-A), the HTTP batch
+// endpoint, and cmd/privelet -query all move workloads through the same
+// two representations so there is exactly one way a workload exists
+// outside the process:
+//
+//   - lines: one query.Parse spec per line ("Age=30..49,Occ=#3..5"),
+//     blank lines skipped — the CSV-friendly form, written by
+//     WriteQueries and read by ReadPlan;
+//   - JSON: either a bare array of spec strings or an object
+//     {"queries": ["spec", ...]}, read by ReadPlanJSON.
+//
+// Both readers stream: specs pass one at a time through the same kind of
+// chokepoint as cli.ReadRows, so a 40 000-line workload body is never
+// buffered as text — memory holds the normalized queries only.
+
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/rng"
+)
+
+// ReadPlan streams the line wire format from r into a validated plan.
+// Parse failures carry the 1-based line number and wrap query.ErrInvalid
+// (a client error); reader failures do not.
+func ReadPlan(schema *dataset.Schema, r io.Reader) (*query.Plan, error) {
+	plan := query.NewPlan(schema)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		spec := sc.Text()
+		if isBlank(spec) {
+			continue
+		}
+		if err := plan.Add(spec); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading queries: %w", err)
+	}
+	return plan, nil
+}
+
+// ReadPlanJSON streams the JSON wire format from r into a validated
+// plan: a bare array of spec strings, or an object whose "queries" field
+// is such an array (other fields are ignored). The decoder walks the
+// array token by token, so the body text is never held whole. Malformed
+// JSON and parse failures both wrap query.ErrInvalid — for an API
+// endpoint either way the client sent a bad workload.
+func ReadPlanJSON(schema *dataset.Schema, r io.Reader) (*query.Plan, error) {
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, invalidJSON(err)
+	}
+	switch d := tok.(type) {
+	case json.Delim:
+		switch d {
+		case '[':
+			return readSpecArray(schema, dec)
+		case '{':
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, invalidJSON(err)
+				}
+				key, _ := keyTok.(string)
+				if key != "queries" {
+					// Skip the value of a foreign field.
+					var skip json.RawMessage
+					if err := dec.Decode(&skip); err != nil {
+						return nil, invalidJSON(err)
+					}
+					continue
+				}
+				open, err := dec.Token()
+				if err != nil {
+					return nil, invalidJSON(err)
+				}
+				if open != json.Delim('[') {
+					return nil, fmt.Errorf("workload: \"queries\" must be an array of spec strings: %w", query.ErrInvalid)
+				}
+				return readSpecArray(schema, dec)
+			}
+			return nil, fmt.Errorf("workload: JSON body has no \"queries\" array: %w", query.ErrInvalid)
+		}
+	}
+	return nil, fmt.Errorf("workload: JSON body must be an array or {\"queries\": [...]}: %w", query.ErrInvalid)
+}
+
+// readSpecArray consumes spec strings up to the array's closing ']'.
+func readSpecArray(schema *dataset.Schema, dec *json.Decoder) (*query.Plan, error) {
+	plan := query.NewPlan(schema)
+	for dec.More() {
+		var spec string
+		if err := dec.Decode(&spec); err != nil {
+			return nil, invalidJSON(err)
+		}
+		if err := plan.Add(spec); err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", plan.Len()+1, err)
+		}
+	}
+	return plan, nil
+}
+
+// invalidJSON tags a JSON decode failure as a client error.
+func invalidJSON(err error) error {
+	return fmt.Errorf("workload: bad JSON workload: %v: %w", err, query.ErrInvalid)
+}
+
+// isBlank reports whether the line holds only ASCII whitespace (the
+// line reader's skip rule, kept allocation-free for 40k-line bodies).
+func isBlank(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WriteQueries emits the queries in the line wire format, one spec per
+// line — the inverse of ReadPlan. schema must be the schema the queries
+// were built against.
+func WriteQueries(w io.Writer, schema *dataset.Schema, queries []query.Query) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range queries {
+		if _, err := bw.WriteString(q.Spec(schema)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Plan draws count random queries straight into a query.Plan — the
+// generator's output in the same representation the batch executor and
+// the wire format consume.
+func (g *Generator) Plan(count int, r *rng.Source) (*query.Plan, error) {
+	qs, err := g.Queries(count, r)
+	if err != nil {
+		return nil, err
+	}
+	plan := query.NewPlan(g.schema)
+	for _, q := range qs {
+		plan.AddQuery(q)
+	}
+	return plan, nil
+}

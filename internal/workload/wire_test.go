@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/rng"
+)
+
+// TestWireRoundTrip: WriteQueries → ReadPlan reproduces a generated
+// workload's normalized intervals exactly, on the census schema (mixed
+// ordinal/nominal attributes).
+func TestWireRoundTrip(t *testing.T) {
+	s := censusSchema(t)
+	gen, err := NewGenerator(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gen.Plan(300, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteQueries(&buf, s, plan.Queries()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlan(s, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != plan.Len() {
+		t.Fatalf("round trip: %d queries, want %d", back.Len(), plan.Len())
+	}
+	for i := 0; i < plan.Len(); i++ {
+		wlo, whi := plan.Query(i).Lo(), plan.Query(i).Hi()
+		glo, ghi := back.Query(i).Lo(), back.Query(i).Hi()
+		for a := range wlo {
+			if wlo[a] != glo[a] || whi[a] != ghi[a] {
+				t.Fatalf("query %d attr %d: [%d,%d], want [%d,%d]", i, a, glo[a], ghi[a], wlo[a], whi[a])
+			}
+		}
+	}
+}
+
+func TestReadPlanSkipsBlanksAndNumbersErrors(t *testing.T) {
+	s := censusSchema(t)
+	plan, err := ReadPlan(s, strings.NewReader("Age=1..3\n\n  \n*\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 2 {
+		t.Fatalf("len = %d, want 2", plan.Len())
+	}
+
+	_, err = ReadPlan(s, strings.NewReader("Age=1..3\n\nAge=9..1\n"))
+	if err == nil || !errors.Is(err, query.ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err %q does not carry the line number", err)
+	}
+}
+
+func TestReadPlanJSONForms(t *testing.T) {
+	s := censusSchema(t)
+	for _, body := range []string{
+		`["Age=1..3", "*", "Gender=#1"]`,
+		`{"queries": ["Age=1..3", "*", "Gender=#1"]}`,
+		`{"comment": {"nested": [1, 2]}, "queries": ["Age=1..3", "*", "Gender=#1"]}`,
+	} {
+		plan, err := ReadPlanJSON(s, strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", body, err)
+		}
+		if plan.Len() != 3 {
+			t.Fatalf("%s: len = %d, want 3", body, plan.Len())
+		}
+	}
+	for _, body := range []string{
+		``,
+		`42`,
+		`{"nope": []}`,
+		`{"queries": "Age=1..3"}`,
+		`["Age=1..3", 7]`,
+		`["Age=9..1"]`,
+		`["Ghost=1..2"]`,
+	} {
+		if _, err := ReadPlanJSON(s, strings.NewReader(body)); !errors.Is(err, query.ErrInvalid) {
+			t.Fatalf("%q: err = %v, want ErrInvalid", body, err)
+		}
+	}
+}

@@ -141,6 +141,16 @@ func (r *Release) NewQuery() *QueryBuilder { return query.NewBuilder(r.schema) }
 // Count answers a range-count query from the released matrix in O(2^d).
 func (r *Release) Count(q Query) (float64, error) { return r.eval.Count(q) }
 
+// CountBatch answers a whole query workload in one call, fanning the
+// queries across a worker pool over the release's summed-area evaluator
+// (workers ≤ 0 means all cores). Answers come back in input order and
+// are bit-identical (float64 ==) to calling Count in a serial loop at
+// any worker count — batch execution is a performance knob, never part
+// of the answer. ctx cancels a long workload between queries.
+func (r *Release) CountBatch(ctx context.Context, queries []Query, workers int) ([]float64, error) {
+	return query.Batch{Eval: r.eval, Workers: workers}.Execute(ctx, queries)
+}
+
 // Matrix returns the released noisy frequency matrix. Callers may read it
 // freely; mutating it desynchronizes Count's prefix table.
 func (r *Release) Matrix() *Matrix { return r.noisy }
