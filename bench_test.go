@@ -658,6 +658,87 @@ func BenchmarkQueryBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryStream measures ExecuteStream over the same 40k census
+// workload as BenchmarkQueryBatch, reporting wall clock per op plus
+// time-to-first-answer (ns until the first chunk reaches the sink) —
+// the latency the streaming pipeline buys: a client starts consuming
+// answers after one chunk executes, not after the whole workload.
+func BenchmarkQueryStream(b *testing.B) {
+	m, schema := benchCensusMatrix(b)
+	ev := query.NewEvaluatorWorkers(m, 0)
+	gen, err := workload.NewGenerator(schema, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := gen.Queries(40_000, rng.New(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("40k/workers=%d", workers), func(b *testing.B) {
+			var ttfa time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				first := true
+				sink := func([]float64) error {
+					if first {
+						ttfa += time.Since(start)
+						first = false
+					}
+					return nil
+				}
+				n, err := (query.Batch{Eval: ev, Workers: workers}).
+					ExecuteStream(context.Background(), query.SliceSource(queries), sink)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != len(queries) {
+					b.Fatalf("delivered %d", n)
+				}
+			}
+			b.ReportMetric(float64(ttfa.Nanoseconds())/float64(b.N), "ttfa-ns")
+		})
+	}
+}
+
+// BenchmarkQueryCacheHit measures the answer cache's hit path: the
+// 40k workload re-executed against a warm per-release cache, where
+// every answer is a key render plus a map probe instead of a 2^d
+// evaluator lookup. The cold pass is the same workload against a fresh
+// cache (miss + insert on top of the evaluator's work).
+func BenchmarkQueryCacheHit(b *testing.B) {
+	m, schema := benchCensusMatrix(b)
+	ev := query.NewEvaluatorWorkers(m, 0)
+	gen, err := workload.NewGenerator(schema, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := gen.Queries(40_000, rng.New(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("40k/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch := query.Batch{Eval: ev, Workers: 1, Cache: query.NewAnswerCache(1<<16, nil), Schema: schema}
+			if _, err := batch.Execute(context.Background(), queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("40k/warm", func(b *testing.B) {
+		batch := query.Batch{Eval: ev, Workers: 1, Cache: query.NewAnswerCache(1<<16, nil), Schema: schema}
+		if _, err := batch.Execute(context.Background(), queries); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := batch.Execute(context.Background(), queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkBasicPublishCensusSmall(b *testing.B) {
 	tbl, err := dataset.GenerateCensus(dataset.BrazilSpec(dataset.ScaleSmall), 50_000, 7)
 	if err != nil {

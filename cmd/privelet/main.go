@@ -33,8 +33,14 @@
 //
 //	privelet -load release.prvl -query workload.csv -out answers.csv
 //
-// The workload fans across -parallelism workers; answers are
-// bit-identical at any worker count and to the daemon's batch endpoint.
+// The workload streams: specs are parsed and answered in fixed-size
+// chunks that execute while earlier answers are written, so memory
+// stays O(chunk) however large the workload file is. The answer output
+// ends with a '#'-prefixed trailer line ("# answers=N status=ok")
+// carrying the answer count, so a consumer can tell a complete run from
+// a truncated one; line-oriented tools can skip it as a comment. The
+// workload fans across -parallelism workers; answers are bit-identical
+// at any worker count and to the daemon's batch endpoint.
 package main
 
 import (
@@ -44,7 +50,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	privelet "repro"
@@ -228,30 +233,29 @@ func runOffline(loadPath, quePath, outPath string, workers int) {
 	if err != nil {
 		fatal(err)
 	}
-	plan, err := workload.ReadPlan(rel.Schema(), qf)
-	qf.Close()
+	defer qf.Close()
+	// Stream the workload: parse → execute → write overlap in chunks, so
+	// a million-query file never exists in memory as a plan. AnswerLines
+	// renders with 'g'/-1, which round-trips the exact float64, so piped
+	// answers stay bit-identical to the evaluator's.
+	aw := workload.NewAnswerLines(out)
+	src := workload.Queries(rel.Schema(), workload.NewLineSpecs(qf))
+	delivered, err := rel.CountStream(context.Background(), src, aw.WriteChunk, workers)
+	t := workload.Trailer{Answers: delivered, Status: workload.StatusOK}
+	if err != nil {
+		// Answers already on the way out stay out; the trailer marks the
+		// stream as deliberately cut so downstream consumers don't read a
+		// partial answer list as complete.
+		t.Status = workload.StatusError
+		t.Error = err.Error()
+	}
+	if cerr := aw.Close(t); cerr != nil {
+		fatal(cerr)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	answers, err := rel.CountBatch(context.Background(), plan.Queries(), workers)
-	if err != nil {
-		fatal(err)
-	}
-	bw := bufio.NewWriter(out)
-	for _, a := range answers {
-		// 'g'/-1 round-trips the exact float64, so piped answers stay
-		// bit-identical to the evaluator's.
-		if _, err := bw.WriteString(strconv.FormatFloat(a, 'g', -1, 64)); err != nil {
-			fatal(err)
-		}
-		if err := bw.WriteByte('\n'); err != nil {
-			fatal(err)
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "privelet: answered %d queries (%s)\n", plan.Len(), rel)
+	fmt.Fprintf(os.Stderr, "privelet: answered %d queries (%s)\n", delivered, rel)
 }
 
 // writeMatrixCSV emits coordinates plus noisy count per entry.

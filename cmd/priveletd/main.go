@@ -21,13 +21,22 @@
 //	# download the release for offline use (cmd/privelet-compatible codec)
 //	curl -o release.prvl 'localhost:8080/releases/r1/export'
 //
-//	# watch the store: shards, resident/spilled counts, evictions, reloads
+//	# watch the store: shards, resident/spilled counts, evictions,
+//	# reloads, answer-cache hits/misses/evictions
 //	curl 'localhost:8080/stats'
 //
 // Releases live in a sharded store (internal/store). With -store-dir set
 // every release is also written through to disk, so the daemon survives
 // restarts, and -max-resident bounds how many releases keep their matrix
 // in memory — colder ones are served by transparent reload from disk.
+//
+// Each release carries an LRU answer cache (sized in entries by
+// -answer-cache, 0 disables): repeat queries — singly via /count or
+// inside batch workloads — are answered from the cache without touching
+// the evaluator, bit-identical to a cold answer. The cache dies with
+// DELETE; releases are immutable, so that is the only invalidation.
+// Batch answers stream back in fixed-size chunks with an explicit
+// trailer (see internal/server), so clients detect truncated responses.
 //
 // See internal/server for the full API and query syntax.
 package main
@@ -55,6 +64,7 @@ func main() {
 		storeDir    = flag.String("store-dir", "", "directory for durable release storage; releases already there are served after a restart (empty = memory only)")
 		maxResident = flag.Int("max-resident", 0, "max releases kept in memory; colder ones spill to -store-dir and reload on access (0 = unlimited)")
 		shards      = flag.Int("shards", 0, fmt.Sprintf("release-store lock stripes (0 = default %d)", store.DefaultShards))
+		answerCache = flag.Int("answer-cache", store.DefaultAnswerCache, "max cached answers per release (repeat queries skip the evaluator; 0 disables)")
 	)
 	flag.Parse()
 
@@ -64,7 +74,7 @@ func main() {
 	// The store shares the publish worker ceiling for its evaluator
 	// rebuilds (startup recovery and spilled-release reloads); rebuilds
 	// are bit-identical at any worker count, so this is latency-only.
-	st, err := store.New(store.Config{Dir: *storeDir, MaxResident: *maxResident, Shards: *shards, Parallelism: *workers})
+	st, err := store.New(store.Config{Dir: *storeDir, MaxResident: *maxResident, Shards: *shards, Parallelism: *workers, AnswerCache: *answerCache})
 	if err != nil {
 		log.Fatal(err)
 	}

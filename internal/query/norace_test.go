@@ -1,0 +1,6 @@
+//go:build !race
+
+package query_test
+
+// raceEnabled is false in ordinary builds; see race_test.go.
+const raceEnabled = false

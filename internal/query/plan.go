@@ -166,6 +166,39 @@ func (p *Plan) Schema() *dataset.Schema { return p.schema }
 // while a cancelled 40k-query batch still stops within a millisecond.
 const batchCancelCheck = 1024
 
+// DefaultStreamChunk is the answer-chunk size of Batch.ExecuteStream
+// when Batch.ChunkSize is unset: 4Ki queries ≈ 32 KiB of answers per
+// flush, small enough that two in-flight chunks bound memory at any
+// workload size, large enough that per-chunk pool and flush overhead
+// stays well under the ~146 ns the answers themselves cost.
+const DefaultStreamChunk = 4096
+
+// Source streams queries into a batch execution, one at a time: it
+// returns the next query, ok=false on clean end of input, or an error
+// (which aborts the stream). ExecuteStream calls it from one goroutine
+// at a time, overlapped with the previous chunk's execution, so a
+// parsing Source pipelines wire-format decoding into query execution.
+type Source func() (q Query, ok bool, err error)
+
+// Sink receives each in-order chunk of answers from ExecuteStream. The
+// slice is reused for later chunks; implementations must copy anything
+// they keep past the call. A Sink error aborts the stream.
+type Sink func(answers []float64) error
+
+// SliceSource adapts an in-memory query slice to a Source (the buffered
+// workload case of ExecuteStream).
+func SliceSource(queries []Query) Source {
+	i := 0
+	return func() (Query, bool, error) {
+		if i >= len(queries) {
+			return Query{}, false, nil
+		}
+		q := queries[i]
+		i++
+		return q, true, nil
+	}
+}
+
 // Batch executes query workloads against one evaluator with a worker
 // pool. Workers follows the codebase-wide knob convention
 // (matrix.ResolveWorkers): ≤ 0 — including the zero value — means all
@@ -178,11 +211,25 @@ const batchCancelCheck = 1024
 // batch may run while the release store evicts or reloads the release —
 // a held Evaluator stays valid (internal/store's eviction only drops the
 // store's own references).
+//
+// With Cache set (Schema required then), answers flow through a
+// per-release AnswerCache keyed by the canonical Query.Spec rendering:
+// hits skip the evaluator entirely, misses execute on the pool and are
+// inserted. Cached answers are the float64 values the same evaluator
+// produced earlier, so caching never changes an answer — the cache is a
+// performance knob under the same contract as Workers.
 type Batch struct {
 	// Eval answers the individual queries.
 	Eval *Evaluator
 	// Workers caps the fan-out; ≤ 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// Cache, when non-nil, memoizes answers keyed by canonical spec.
+	Cache *AnswerCache
+	// Schema renders cache keys (Query.Spec); required iff Cache is set.
+	Schema *dataset.Schema
+	// ChunkSize is ExecuteStream's answer-chunk size; ≤ 0 means
+	// DefaultStreamChunk. Chunk boundaries never affect answers.
+	ChunkSize int
 }
 
 // Execute answers every query, in input order. ctx is observed about
@@ -197,17 +244,67 @@ func (b Batch) Execute(ctx context.Context, queries []Query) ([]float64, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	answers := make([]float64, len(queries))
+	if err := b.run(ctx, queries, answers); err != nil {
+		return nil, err
+	}
+	return answers, nil
+}
+
+// run answers queries into the matching answers slots — through the
+// cache when configured, with misses fanned across the worker pool. It
+// is the one execution core under Execute and ExecuteStream, so the
+// buffered, streamed, and cached paths cannot drift.
+func (b Batch) run(ctx context.Context, queries []Query, answers []float64) error {
+	if b.Cache == nil {
+		return b.runPool(ctx, queries, answers)
+	}
+	if b.Schema == nil {
+		return fmt.Errorf("query: Batch.Cache requires Batch.Schema (cache keys are canonical specs)")
+	}
+	// Partition into hits and misses. Keys render into one reused buffer;
+	// lookups go through the byte-keyed probe so a hit allocates nothing,
+	// and only misses pay for a persistent key string.
+	var (
+		keyBuf   []byte
+		missQ    []Query
+		missIdx  []int
+		missKeys []string
+	)
+	for i := range queries {
+		keyBuf = queries[i].appendSpec(keyBuf[:0], b.Schema)
+		if v, ok := b.Cache.lookup(keyBuf); ok {
+			answers[i] = v
+			continue
+		}
+		missQ = append(missQ, queries[i])
+		missIdx = append(missIdx, i)
+		missKeys = append(missKeys, string(keyBuf))
+	}
+	if len(missQ) == 0 {
+		return nil
+	}
+	missA := make([]float64, len(missQ))
+	if err := b.runPool(ctx, missQ, missA); err != nil {
+		return err
+	}
+	for j, i := range missIdx {
+		answers[i] = missA[j]
+		b.Cache.Put(missKeys[j], missA[j])
+	}
+	return nil
+}
+
+// runPool is the uncached pool execution: contiguous per-worker ranges
+// over the evaluator, lowest-index error wins.
+func (b Batch) runPool(ctx context.Context, queries []Query, answers []float64) error {
 	n := len(queries)
-	answers := make([]float64, n)
 	workers := matrix.ResolveWorkers(b.Workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		if err := b.executeRange(ctx, queries, answers, 0, n); err != nil {
-			return nil, err
-		}
-		return answers, nil
+		return b.executeRange(ctx, queries, answers, 0, n)
 	}
 	// Contiguous ranges, one per worker: range membership is a pure
 	// function of (n, workers), mirroring matrix.forEachRange, and every
@@ -244,9 +341,110 @@ func (b Batch) Execute(ctx context.Context, queries []Query) ([]float64, error) 
 		}
 	}
 	if first != nil {
-		return nil, first.err
+		return first.err
 	}
-	return answers, nil
+	return nil
+}
+
+// streamChunk is one ping-pong buffer of ExecuteStream's pipeline.
+type streamChunk struct {
+	queries []Query
+	answers []float64
+	n       int
+}
+
+// ExecuteStream answers a streamed workload in fixed-size in-order
+// chunks, delivering each chunk to sink while later chunks are still
+// parsing and executing. The pipeline is double-buffered across two
+// chunk buffers: while chunk k executes on the worker pool, chunk k+1
+// is pulled from src (so wire-format parsing overlaps execution), and
+// while chunk k's answers are written by the sink, chunk k+1 executes.
+// Peak memory is two chunks — O(ChunkSize) — whatever the workload
+// length; a million-query workload streams without ever existing as a
+// slice.
+//
+// Answers are bit-identical (float64 ==) to Execute over the same
+// queries at any worker count and any chunk size: chunking reorders
+// only computation, never floating-point arithmetic, and the cache (if
+// configured) returns previously computed float64 values unchanged.
+//
+// ExecuteStream returns the number of answers delivered. On error the
+// stream stops: every chunk delivered before the failure stays
+// delivered (callers surface the cut via a trailer — see
+// internal/workload's answer wire format), a src error discards the
+// partially filled chunk it interrupted, and the error is returned. A
+// sink error aborts without further deliveries.
+func (b Batch) ExecuteStream(ctx context.Context, src Source, sink Sink) (int, error) {
+	if b.Eval == nil {
+		return 0, fmt.Errorf("query: Batch.ExecuteStream without an Evaluator")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	size := b.ChunkSize
+	if size <= 0 {
+		size = DefaultStreamChunk
+	}
+	var bufs [2]streamChunk
+	for i := range bufs {
+		bufs[i] = streamChunk{queries: make([]Query, size), answers: make([]float64, size)}
+	}
+	srcDone := false
+	fill := func(c *streamChunk) error {
+		c.n = 0
+		for !srcDone && c.n < size {
+			q, ok, err := src()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				srcDone = true
+				break
+			}
+			c.queries[c.n] = q
+			c.n++
+		}
+		return nil
+	}
+	exec := func(c *streamChunk) chan error {
+		done := make(chan error, 1)
+		go func() { done <- b.run(ctx, c.queries[:c.n], c.answers[:c.n]) }()
+		return done
+	}
+
+	cur, nxt := &bufs[0], &bufs[1]
+	if err := fill(cur); err != nil {
+		return 0, err
+	}
+	if cur.n == 0 {
+		return 0, nil
+	}
+	delivered := 0
+	running := exec(cur)
+	for cur.n > 0 {
+		// Overlap: pull the next chunk from the source while cur executes.
+		fillErr := fill(nxt)
+		if err := <-running; err != nil {
+			return delivered, err
+		}
+		running = nil
+		// Overlap: start the next chunk before writing this one out.
+		if fillErr == nil && nxt.n > 0 {
+			running = exec(nxt)
+		}
+		if err := sink(cur.answers[:cur.n]); err != nil {
+			if running != nil {
+				<-running
+			}
+			return delivered, err
+		}
+		delivered += cur.n
+		if fillErr != nil {
+			return delivered, fillErr
+		}
+		cur, nxt = nxt, cur
+	}
+	return delivered, nil
 }
 
 // executeRange answers queries [lo, hi) into the matching answer slots,

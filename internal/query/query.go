@@ -26,7 +26,7 @@ package query
 import (
 	"errors"
 	"fmt"
-	"strings"
+	"strconv"
 
 	"repro/internal/dataset"
 	"repro/internal/matrix"
@@ -91,27 +91,41 @@ func (q Query) Coverage() float64 {
 // ones; a query with no constrained attribute renders as "*". The round
 // trip Parse(schema, q.Spec(schema)) reproduces q's intervals exactly.
 // schema must be the schema the query was built against.
+//
+// Because attributes render in schema order with normalized intervals,
+// the rendering is canonical: two queries produce the same Spec exactly
+// when they constrain the same intervals. That makes Spec a collision-
+// free cache key — see AnswerCache.
 func (q Query) Spec(schema *dataset.Schema) string {
-	var sb strings.Builder
+	return string(q.appendSpec(nil, schema))
+}
+
+// appendSpec appends the Spec rendering to dst and returns it — the
+// allocation-free form the answer cache keys with on its hot path
+// (strconv.AppendInt instead of fmt, one reusable buffer per batch).
+func (q Query) appendSpec(dst []byte, schema *dataset.Schema) []byte {
+	start := len(dst)
 	for i, c := range q.constrained {
 		if !c {
 			continue
 		}
-		if sb.Len() > 0 {
-			sb.WriteByte(',')
+		if len(dst) > start {
+			dst = append(dst, ',')
 		}
 		a := schema.Attr(i)
-		sb.WriteString(a.Name)
-		sb.WriteByte('=')
+		dst = append(dst, a.Name...)
+		dst = append(dst, '=')
 		if a.Kind == dataset.Nominal {
-			sb.WriteByte('#')
+			dst = append(dst, '#')
 		}
-		fmt.Fprintf(&sb, "%d..%d", q.lo[i], q.hi[i])
+		dst = strconv.AppendInt(dst, int64(q.lo[i]), 10)
+		dst = append(dst, '.', '.')
+		dst = strconv.AppendInt(dst, int64(q.hi[i]), 10)
 	}
-	if sb.Len() == 0 {
-		return "*"
+	if len(dst) == start {
+		dst = append(dst, '*')
 	}
-	return sb.String()
+	return dst
 }
 
 // Builder assembles a Query against a schema.

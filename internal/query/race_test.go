@@ -1,0 +1,8 @@
+//go:build race
+
+package query_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-bound tests skip under it (shadow-memory bookkeeping
+// inflates runtime.MemStats far past the real footprint).
+const raceEnabled = true

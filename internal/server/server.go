@@ -26,13 +26,17 @@
 //	GET    /releases/{id}                         → one summary
 //	DELETE /releases/{id}                         → withdraw release, delete spill file
 //	GET    /releases/{id}/count?q=...             → {"count": ...}
-//	POST   /releases/{id}/query?parallelism=...   → {"answers": [...], ...}
+//	POST   /releases/{id}/query?parallelism=...   → streamed answers + trailer
 //	       body: workload — one query spec per line, or JSON
 //	       ["spec", ...] / {"queries": [...]} with Content-Type
-//	       application/json
+//	       application/json. Answers stream back in fixed-size chunks
+//	       (JSON by default, one-per-line with Accept: text/csv) and end
+//	       with a trailer carrying the answer count and status, so a cut
+//	       stream is detectable.
 //	GET    /releases/{id}/export                  → binary codec payload
 //	GET    /mechanisms                            → registered mechanism names
-//	GET    /stats                                 → store accounting (evictions, reloads, ...)
+//	GET    /stats                                 → store accounting (evictions, reloads,
+//	                                                answer-cache hits/misses, ...)
 //
 // Query syntax (the q parameter and each workload spec; internal/query's
 // Parse grammar): comma-separated predicates,
@@ -46,11 +50,16 @@
 // (internal/query's Plan and Batch): the count endpoint is the
 // one-query case of the batch endpoint, and batch answers are
 // bit-identical (float64 ==) to issuing the same specs as sequential
-// /count calls — at any ?parallelism=. A malformed or out-of-schema
-// query spec is a client error (HTTP 400, query.ErrInvalid) on both.
+// /count calls — at any ?parallelism=, streamed or buffered, cached or
+// not. Both flow through the release's answer cache when the store
+// enables one, so repeated dashboard traffic is served from memory
+// lookups. A malformed or out-of-schema query spec is a client error
+// (HTTP 400, query.ErrInvalid) on both; mid-stream failures after the
+// first chunk has been flushed surface in the response trailer instead.
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -123,8 +132,10 @@ func New(cfg Config) *Server {
 	if st == nil {
 		// An in-memory store never reloads, but recovery/Put still build
 		// evaluators; give them the same worker ceiling as publishes.
+		// The implicit store answers repeated queries from the default
+		// answer cache (an explicit Store chooses its own bound).
 		// The store config without a Dir cannot fail.
-		st, _ = store.New(store.Config{Parallelism: cfg.Parallelism})
+		st, _ = store.New(store.Config{Parallelism: cfg.Parallelism, AnswerCache: store.DefaultAnswerCache})
 	}
 	s := &Server{store: st, maxBody: cfg.MaxBody, parallelism: cfg.Parallelism, defaultMech: cfg.DefaultMechanism}
 	for _, stub := range st.List() {
@@ -408,10 +419,11 @@ func (s *Server) handleCount(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// The one-query case of the batch pipeline: the same executor the
-	// workload endpoint fans out, so the two endpoints cannot drift
-	// (bit-identity pinned by tests).
-	answers, err := query.Batch{Eval: rel.Eval, Workers: 1}.Execute(req.Context(), []query.Query{q})
+	// The one-query case of the batch pipeline: the same executor (and
+	// the same per-release answer cache) the workload endpoint uses, so
+	// the two endpoints cannot drift (bit-identity pinned by tests) and
+	// repeated single-count dashboard traffic hits the cache too.
+	answers, err := query.Batch{Eval: rel.Eval, Workers: 1, Cache: rel.Cache, Schema: rel.Payload.Schema}.Execute(req.Context(), []query.Query{q})
 	if err != nil {
 		httpError(w, queryStatus(err), err.Error())
 		return
@@ -425,12 +437,29 @@ func (s *Server) handleCount(w http.ResponseWriter, req *http.Request) {
 // handleBatchQuery answers a whole workload in one request — the
 // paper's serving shape (§VII runs 40 000 queries per experiment), for
 // which per-query HTTP round trips would dominate the 2^d-lookup
-// answers. The body streams through the workload wire format (one spec
-// per line, or JSON with Content-Type application/json) into a
-// query.Plan — the text is never buffered — and executes on a
-// query.Batch worker pool capped by the operator's parallelism ceiling.
-// Answers are returned in input order, bit-identical to issuing the
-// same specs as sequential /count calls.
+// answers. The request body streams through the workload wire format
+// (one spec per line, or JSON with Content-Type application/json)
+// directly into query.Batch.ExecuteStream: parsing pipelines into
+// execution, answers flush to the client in fixed-size chunks while
+// later chunks still execute, and peak memory is O(chunk) — a
+// million-query workload never exists in this process as a slice.
+// Answers come back in input order, bit-identical to issuing the same
+// specs as sequential /count calls, flowing through the release's
+// answer cache when the store enables one.
+//
+// The response is the streaming answer wire format (internal/workload):
+// JSON by default — the pre-streaming {"workers","answers","queries"}
+// object extended with a trailer — or the line format when the Accept
+// header asks for text/csv or text/plain. Either way the trailer
+// carries the delivered answer count and a status, so a client can
+// distinguish a complete stream from one cut by an error or a dropped
+// connection (a body without a trailer is truncated, full stop).
+//
+// Errors inside the first chunk — the whole workload, for bodies up to
+// the chunk size — are reported as plain HTTP statuses exactly as
+// before, since nothing has been written; after the first flush the
+// status is already on the wire, and a failure ends the stream with a
+// status=error trailer instead.
 func (s *Server) handleBatchQuery(w http.ResponseWriter, req *http.Request) {
 	rel, ok := s.lookup(w, req)
 	if !ok {
@@ -443,38 +472,97 @@ func (s *Server) handleBatchQuery(w http.ResponseWriter, req *http.Request) {
 	}
 	schema := rel.Payload.Schema
 	body := http.MaxBytesReader(w, req.Body, s.maxBody)
-	var plan *query.Plan
+	var specs workload.SpecReader
 	if ct := req.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
-		plan, err = workload.ReadPlanJSON(schema, body)
+		specs = workload.NewJSONSpecs(body)
 	} else {
-		plan, err = workload.ReadPlan(schema, body)
+		specs = workload.NewLineSpecs(body)
 	}
-	if err != nil {
-		// Whatever went wrong — a bad spec, malformed JSON, an oversized
-		// or truncated body — the request body is the client's.
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
+	asLines := wantsLineAnswers(req.Header.Get("Accept"))
+
+	var (
+		aw      workload.AnswerWriter
+		started bool
+	)
+	flusher, _ := w.(http.Flusher)
+	start := func() {
+		started = true
+		if asLines {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			aw = workload.NewAnswerLines(w)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			aw = workload.NewAnswerJSON(w, par)
+		}
+		w.WriteHeader(http.StatusOK)
 	}
-	answers, err := query.Batch{Eval: rel.Eval, Workers: par}.Execute(req.Context(), plan.Queries())
-	if err != nil {
+	sink := func(answers []float64) error {
+		if !started {
+			start()
+		}
+		if err := aw.WriteChunk(answers); err != nil {
+			return err
+		}
+		// Flush per chunk: the client sees the first answers while the
+		// rest of the workload is still parsing and executing.
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	batch := query.Batch{Eval: rel.Eval, Workers: par, Cache: rel.Cache, Schema: schema}
+	n, err := batch.ExecuteStream(req.Context(), workload.Queries(schema, specs), sink)
+	if err != nil && !started {
+		// Nothing on the wire yet: report the plain status a buffered
+		// endpoint would have — 400 for a bad workload, 499/500 otherwise.
 		httpError(w, queryStatus(err), err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"queries": plan.Len(),
-		"workers": par,
-		"answers": answers,
-	})
+	if !started {
+		start() // empty workload: an answerless body is still a complete one
+	}
+	t := workload.Trailer{Answers: n, Status: workload.StatusOK}
+	if err != nil {
+		t.Status = workload.StatusError
+		t.Error = err.Error()
+	}
+	// A Close failure means the client is gone mid-trailer; there is no
+	// one left to tell.
+	_ = aw.Close(t)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// wantsLineAnswers reports whether the Accept header prefers the line
+// answer format over the default JSON — the CSV-friendly form for
+// curl | tail pipelines and the CLI.
+func wantsLineAnswers(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		switch strings.TrimSpace(mt) {
+		case "text/csv", "text/plain":
+			return true
+		case "application/json":
+			return false
+		}
+	}
+	return false
 }
 
 // queryStatus maps a query-pipeline error onto an HTTP status: a bad
-// query is the client's fault (400, tagged query.ErrInvalid), a
+// query or workload body is the client's fault (400 — tagged
+// query.ErrInvalid, an over-limit body, or an over-long line), a
 // cancelled request is the client gone (499), anything else is the
 // server's (500) — never a 500 for a malformed predicate, never a 400
 // masking an engine failure.
 func queryStatus(err error) int {
+	var tooBig *http.MaxBytesError
 	switch {
-	case errors.Is(err, query.ErrInvalid):
+	case errors.Is(err, query.ErrInvalid),
+		errors.As(err, &tooBig),
+		errors.Is(err, bufio.ErrTooLong):
 		return http.StatusBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return statusClientClosedRequest

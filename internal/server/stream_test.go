@@ -1,0 +1,264 @@
+package server
+
+// The streaming half of the batch endpoint: chunked answers with a
+// trailer, Accept negotiation, mid-stream failure semantics, truncation
+// detection, and the per-release answer cache surfacing on /stats.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// batchRequest POSTs a workload with an explicit Accept header and
+// returns the raw response.
+func batchRequest(t *testing.T, ts *httptest.Server, id, params, contentType, accept, body string) *http.Response {
+	t.Helper()
+	target := ts.URL + "/releases/" + id + "/query"
+	if params != "" {
+		target += "?" + params
+	}
+	req, err := http.NewRequest(http.MethodPost, target, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestBatchLineAnswers: Accept: text/csv switches the response to the
+// line answer format, complete with an ok trailer, and the answers are
+// float64 == to the JSON representation of the same workload.
+func TestBatchLineAnswers(t *testing.T) {
+	ts := startServer(t)
+	sum := publish(t, ts, "schema="+testSchema+"&epsilon=2&seed=31", testCSV)
+	specs := batchSpecs(t, 300)
+	body := strings.Join(specs, "\n")
+	asJSON := batchAnswers(t, ts, sum.ID, "", "text/csv", body)
+
+	for _, accept := range []string{"text/csv", "text/plain", "text/csv;q=0.9, application/json;q=0.1"} {
+		resp := batchRequest(t, ts, sum.ID, "", "text/csv", accept, body)
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("accept=%q: status %d: %s", accept, resp.StatusCode, raw)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("accept=%q: Content-Type %q, want text/plain", accept, ct)
+		}
+		got, trailer, err := workload.ReadAnswerLines(strings.NewReader(string(raw)))
+		if err != nil {
+			t.Fatalf("accept=%q: %v", accept, err)
+		}
+		if trailer.Status != workload.StatusOK || trailer.Answers != len(specs) {
+			t.Fatalf("accept=%q: trailer = %+v", accept, trailer)
+		}
+		if len(got) != len(asJSON) {
+			t.Fatalf("accept=%q: %d answers, want %d", accept, len(got), len(asJSON))
+		}
+		for i := range asJSON {
+			if got[i] != asJSON[i] {
+				t.Fatalf("accept=%q: answer %d = %v, JSON gave %v", accept, i, got[i], asJSON[i])
+			}
+		}
+	}
+}
+
+// TestBatchJSONTrailer: the default JSON response now ends with a
+// trailer the streaming reader validates — and still decodes under the
+// pre-streaming {queries, workers, answers} shape (batchAnswers).
+func TestBatchJSONTrailer(t *testing.T) {
+	ts := startServer(t)
+	sum := publish(t, ts, "schema="+testSchema+"&epsilon=2&seed=32", testCSV)
+	specs := batchSpecs(t, 120)
+	resp := batchRequest(t, ts, sum.ID, "parallelism=2", "text/csv", "", strings.Join(specs, "\n"))
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type %q, want application/json", ct)
+	}
+	answers, trailer, err := workload.ReadAnswersJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Status != workload.StatusOK || trailer.Answers != len(specs) || len(answers) != len(specs) {
+		t.Fatalf("trailer = %+v over %d answers", trailer, len(answers))
+	}
+}
+
+// TestBatchMidStreamError is the silent-truncation fix, positive half:
+// a workload failing after the first chunk has already flushed cannot
+// change the 200 status — instead the stream ends early with a
+// status=error trailer naming the failing line, and every answer from
+// complete chunks stays delivered.
+func TestBatchMidStreamError(t *testing.T) {
+	ts := startServer(t)
+	sum := publish(t, ts, "schema="+testSchema+"&epsilon=2&seed=33", testCSV)
+	// 5000 valid lines with an invalid spec at line 4500 — inside the
+	// second chunk, after the first (4096 answers) is on the wire.
+	lines := make([]string, 5000)
+	for i := range lines {
+		lines[i] = "Age=0..1"
+	}
+	lines[4499] = "Age=9..1" // inverted range, line 4500
+	resp := batchRequest(t, ts, sum.ID, "", "text/csv", "text/csv", strings.Join(lines, "\n"))
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (headers were already sent when the error hit): %s", resp.StatusCode, raw)
+	}
+	answers, trailer, err := workload.ReadAnswerLines(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Status != workload.StatusError {
+		t.Fatalf("trailer = %+v, want status=error", trailer)
+	}
+	if trailer.Answers != 4096 || len(answers) != 4096 {
+		t.Fatalf("delivered %d answers (trailer %d), want the complete first chunk of 4096", len(answers), trailer.Answers)
+	}
+	if !strings.Contains(trailer.Error, "line 4500") {
+		t.Fatalf("trailer error %q does not name line 4500", trailer.Error)
+	}
+}
+
+// failingWriter is a ResponseWriter whose connection dies after limit
+// bytes — the server-side view of a client that disappeared mid-stream.
+type failingWriter struct {
+	h     http.Header
+	wrote []byte
+	limit int
+}
+
+func (f *failingWriter) Header() http.Header { return f.h }
+func (f *failingWriter) WriteHeader(int)     {}
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if len(f.wrote)+len(p) > f.limit {
+		room := f.limit - len(f.wrote)
+		if room > 0 {
+			f.wrote = append(f.wrote, p[:room]...)
+		}
+		return room, errors.New("connection reset mid-stream")
+	}
+	f.wrote = append(f.wrote, p...)
+	return len(p), nil
+}
+
+// TestBatchTruncationDetectable is the silent-truncation regression
+// test, negative half: when the connection dies mid-stream, the bytes
+// that made it out do NOT parse as a complete answer stream — the
+// reader reports ErrTruncated instead of handing the client a silently
+// short answer list.
+func TestBatchTruncationDetectable(t *testing.T) {
+	srv := New(Config{})
+	h := srv.Handler()
+
+	pub := httptest.NewRequest(http.MethodPost, "/publish?schema="+testSchema+"&epsilon=2&seed=34", strings.NewReader(testCSV))
+	pubRec := httptest.NewRecorder()
+	h.ServeHTTP(pubRec, pub)
+	if pubRec.Code != http.StatusCreated {
+		t.Fatalf("publish status %d: %s", pubRec.Code, pubRec.Body.Bytes())
+	}
+	var sum struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(pubRec.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 3-chunk workload; the connection dies ~5 KB into the response —
+	// partway through the wire bytes of the first chunk's answers.
+	specs := make([]string, 10_000)
+	for i := range specs {
+		specs[i] = fmt.Sprintf("Age=0..%d", i%8)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/releases/"+sum.ID+"/query", strings.NewReader(strings.Join(specs, "\n")))
+	req.Header.Set("Content-Type", "text/csv")
+	req.Header.Set("Accept", "text/csv")
+	fw := &failingWriter{h: make(http.Header), limit: 5 << 10}
+	h.ServeHTTP(fw, req)
+
+	answers, _, err := workload.ReadAnswerLines(strings.NewReader(string(fw.wrote)))
+	if !errors.Is(err, workload.ErrTruncated) {
+		t.Fatalf("reading the cut stream: err = %v over %d answers, want ErrTruncated", err, len(answers))
+	}
+	if len(answers) >= len(specs) {
+		t.Fatalf("cut stream still carried all %d answers; writer never failed", len(answers))
+	}
+}
+
+// TestCountUsesAnswerCache: repeated /count calls for the same spec are
+// served from the release's answer cache — visible as hits on /stats —
+// and the cached answer is float64-identical to the cold one.
+func TestCountUsesAnswerCache(t *testing.T) {
+	ts := startServer(t)
+	sum := publish(t, ts, "schema="+testSchema+"&epsilon=2&seed=35", testCSV)
+	cold := countOne(t, ts, sum.ID, "Age=1..6")
+	st0 := fetchStats(t, ts)
+	if st0.AnswerCacheMax == 0 {
+		t.Fatalf("implicit store has no answer cache: %+v", st0)
+	}
+	if st0.AnswerCacheMisses == 0 || st0.AnswerCacheEntries == 0 {
+		t.Fatalf("cold count did not populate the cache: %+v", st0)
+	}
+	for i := 0; i < 3; i++ {
+		if warm := countOne(t, ts, sum.ID, "Age=1..6"); warm != cold {
+			t.Fatalf("cached count = %v, cold = %v (cache changed an answer)", warm, cold)
+		}
+	}
+	st1 := fetchStats(t, ts)
+	if got := st1.AnswerCacheHits - st0.AnswerCacheHits; got < 3 {
+		t.Fatalf("warm counts produced %d cache hits, want ≥ 3 (%+v)", got, st1)
+	}
+}
+
+// TestBatchUsesAnswerCache: re-sending a workload turns the whole
+// second pass into cache hits, with answers unchanged.
+func TestBatchUsesAnswerCache(t *testing.T) {
+	ts := startServer(t)
+	sum := publish(t, ts, "schema="+testSchema+"&epsilon=2&seed=36", testCSV)
+	specs := batchSpecs(t, 500)
+	body := strings.Join(specs, "\n")
+	first := batchAnswers(t, ts, sum.ID, "", "text/csv", body)
+	st0 := fetchStats(t, ts)
+	second := batchAnswers(t, ts, sum.ID, "parallelism=4", "text/csv", body)
+	st1 := fetchStats(t, ts)
+	for i := range first {
+		if second[i] != first[i] {
+			t.Fatalf("answer %d changed across cached pass: %v vs %v", i, second[i], first[i])
+		}
+	}
+	if got := st1.AnswerCacheHits - st0.AnswerCacheHits; got < int64(len(specs)) {
+		t.Fatalf("second pass produced %d hits, want ≥ %d", got, len(specs))
+	}
+	if st1.AnswerCacheMisses != st0.AnswerCacheMisses {
+		t.Fatalf("second pass missed (%d → %d); cache not consulted", st0.AnswerCacheMisses, st1.AnswerCacheMisses)
+	}
+}
+
+// TestBatchEmptyWorkloadTrailer: an empty workload still gets a
+// complete stream — zero answers, ok trailer — not an empty body.
+func TestBatchEmptyWorkloadTrailer(t *testing.T) {
+	ts := startServer(t)
+	sum := publish(t, ts, "schema="+testSchema+"&epsilon=2&seed=37", testCSV)
+	resp := batchRequest(t, ts, sum.ID, "", "text/csv", "text/csv", "\n\n")
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	answers, trailer, err := workload.ReadAnswerLines(strings.NewReader(string(raw)))
+	if err != nil || len(answers) != 0 || trailer.Status != workload.StatusOK || trailer.Answers != 0 {
+		t.Fatalf("empty workload: answers=%v trailer=%+v err=%v", answers, trailer, err)
+	}
+}

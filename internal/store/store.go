@@ -54,6 +54,13 @@ import (
 // the marginal cost of an idle shard is one mutex and one empty map.
 const DefaultShards = 16
 
+// DefaultAnswerCache is the per-release answer-cache entry bound the
+// daemon defaults to (priveletd -answer-cache). 64Ki entries ≈ a few
+// MiB per hot release (key string + LRU node per entry) — enough to
+// hold one and a half of the paper's 40 000-query workloads entirely,
+// small next to the matrices the resident budget already accounts for.
+const DefaultAnswerCache = 1 << 16
+
 // spillExt is the filename extension of spill files; the payload bytes
 // are exactly what cmd/privelet and the /export endpoint produce, so a
 // spill file is itself a valid release artifact.
@@ -81,6 +88,14 @@ type Config struct {
 	// rebuild is bit-identical at any worker count
 	// (matrix.PrefixSumExec), so this only affects reload latency.
 	Parallelism int
+	// AnswerCache, when positive, bounds a per-release LRU answer cache
+	// (entry count) serving repeated range-count queries as memory
+	// lookups. Releases are immutable, so a cached answer can never go
+	// stale; the cache lives and dies with its store entry — Remove
+	// drops it (the only invalidation a release ever needs), while LRU
+	// eviction keeps it (the cache is small and bounded; the matrix it
+	// spares lookups into is neither). ≤ 0 disables caching.
+	AnswerCache int
 }
 
 // Release is the resident view of a stored release, as returned by Get
@@ -101,6 +116,12 @@ type Release struct {
 	// Eval answers range-count queries from the precomputed prefix-sum
 	// table of the noisy matrix.
 	Eval *query.Evaluator
+	// Cache is the release's answer cache, nil when Config.AnswerCache
+	// is off. It is bound to the store entry: the handle keeps working
+	// after eviction, and Remove discards it with the entry, so a cache
+	// can never serve answers for a withdrawn release (or for a new
+	// release reusing the ID — that Put builds a fresh cache).
+	Cache *query.AnswerCache
 	// Workers is the publish-time parallelism — operational metadata
 	// only (it never affects release values) and not persisted: after a
 	// restart recovers a release from disk it reads 0.
@@ -126,16 +147,23 @@ type Stub struct {
 }
 
 // Stats is a snapshot of the store's accounting, surfaced by the
-// daemon's /stats endpoint.
+// daemon's /stats endpoint. The AnswerCache* counters aggregate over
+// every release's answer cache (hits/misses/evictions keep counting
+// across release removals; Entries is the current total).
 type Stats struct {
-	Shards      int   `json:"shards"`
-	MaxResident int   `json:"max_resident"`
-	Releases    int   `json:"releases"`
-	Resident    int   `json:"resident"`
-	Spilled     int   `json:"spilled"`
-	Evictions   int64 `json:"evictions"`
-	Reloads     int64 `json:"reloads"`
-	Removals    int64 `json:"removals"`
+	Shards               int   `json:"shards"`
+	MaxResident          int   `json:"max_resident"`
+	Releases             int   `json:"releases"`
+	Resident             int   `json:"resident"`
+	Spilled              int   `json:"spilled"`
+	Evictions            int64 `json:"evictions"`
+	Reloads              int64 `json:"reloads"`
+	Removals             int64 `json:"removals"`
+	AnswerCacheMax       int   `json:"answer_cache_max"`
+	AnswerCacheEntries   int   `json:"answer_cache_entries"`
+	AnswerCacheHits      int64 `json:"answer_cache_hits"`
+	AnswerCacheMisses    int64 `json:"answer_cache_misses"`
+	AnswerCacheEvictions int64 `json:"answer_cache_evictions"`
 }
 
 // Store is a sharded release store. The zero value is not usable;
@@ -153,6 +181,9 @@ type Store struct {
 	evictions atomic.Int64
 	reloads   atomic.Int64
 	removals  atomic.Int64
+	// cacheCtr aggregates answer-cache traffic across every release's
+	// cache, so /stats totals survive individual release removal.
+	cacheCtr query.CacheCounters
 }
 
 type shard struct {
@@ -167,6 +198,9 @@ type entry struct {
 	id       string
 	stub     Stub
 	lastUsed atomic.Int64
+	// cache is the entry's answer cache (nil when disabled), immutable
+	// after insert like stub: eviction keeps it, Remove discards it.
+	cache *query.AnswerCache
 	// ioMu serializes the entry's spill-file I/O: the write-through at
 	// Put, reloads (so a hot spilled release is decoded once, not once
 	// per waiting goroutine), and Remove's wait for an in-flight
@@ -240,7 +274,7 @@ func (s *Store) recover() error {
 			log.Printf("store: skipping unreadable spill file %s: %v", name, err)
 			continue
 		}
-		e := &entry{id: id, stub: makeStub(id, p, 0), spilled: true}
+		e := &entry{id: id, stub: makeStub(id, p, 0), spilled: true, cache: s.newAnswerCache()}
 		if s.cfg.MaxResident > 0 && s.resident.Load() < int64(s.cfg.MaxResident) {
 			e.payload = p
 			e.eval = query.NewEvaluatorWorkers(p.Noisy, s.cfg.Parallelism)
@@ -279,6 +313,7 @@ func (s *Store) Put(id string, p *codec.Payload, workers int) error {
 		stub:    makeStub(id, p, workers),
 		payload: p,
 		eval:    query.NewEvaluatorWorkers(p.Noisy, s.cfg.Parallelism),
+		cache:   s.newAnswerCache(),
 	}
 	e.touch(s)
 	sh := s.shard(id)
@@ -393,7 +428,7 @@ func (s *Store) Get(id string) (Release, error) {
 	e := sh.entries[id]
 	var rel Release
 	if e != nil && e.payload != nil {
-		rel = Release{ID: id, Payload: e.payload, Eval: e.eval, Workers: e.stub.Workers}
+		rel = Release{ID: id, Payload: e.payload, Eval: e.eval, Cache: e.cache, Workers: e.stub.Workers}
 	}
 	sh.mu.RUnlock()
 	if e == nil {
@@ -461,16 +496,38 @@ func (s *Store) Len() int {
 func (s *Store) Stats() Stats {
 	total := s.Len()
 	res := int(s.resident.Load())
-	return Stats{
-		Shards:      len(s.shards),
-		MaxResident: s.cfg.MaxResident,
-		Releases:    total,
-		Resident:    res,
-		Spilled:     total - res,
-		Evictions:   s.evictions.Load(),
-		Reloads:     s.reloads.Load(),
-		Removals:    s.removals.Load(),
+	cached := 0
+	if s.cfg.AnswerCache > 0 {
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.RLock()
+			for _, e := range sh.entries {
+				cached += e.cache.Len()
+			}
+			sh.mu.RUnlock()
+		}
 	}
+	return Stats{
+		Shards:               len(s.shards),
+		MaxResident:          s.cfg.MaxResident,
+		Releases:             total,
+		Resident:             res,
+		Spilled:              total - res,
+		Evictions:            s.evictions.Load(),
+		Reloads:              s.reloads.Load(),
+		Removals:             s.removals.Load(),
+		AnswerCacheMax:       max(s.cfg.AnswerCache, 0),
+		AnswerCacheEntries:   cached,
+		AnswerCacheHits:      s.cacheCtr.Hits.Load(),
+		AnswerCacheMisses:    s.cacheCtr.Misses.Load(),
+		AnswerCacheEvictions: s.cacheCtr.Evictions.Load(),
+	}
+}
+
+// newAnswerCache builds one release's answer cache under the store's
+// shared counters; nil (caching off) when the config disables it.
+func (s *Store) newAnswerCache() *query.AnswerCache {
+	return query.NewAnswerCache(s.cfg.AnswerCache, &s.cacheCtr)
 }
 
 // reload brings a spilled entry back into memory. loadMu makes
@@ -486,7 +543,7 @@ func (s *Store) reload(sh *shard, e *entry) (Release, error) {
 		return Release{}, fmt.Errorf("store: %q: %w", e.id, ErrNotFound)
 	}
 	if e.payload != nil {
-		rel := Release{ID: e.id, Payload: e.payload, Eval: e.eval, Workers: e.stub.Workers}
+		rel := Release{ID: e.id, Payload: e.payload, Eval: e.eval, Cache: e.cache, Workers: e.stub.Workers}
 		sh.mu.RUnlock()
 		e.touch(s)
 		return rel, nil
@@ -515,7 +572,7 @@ func (s *Store) reload(sh *shard, e *entry) (Release, error) {
 	s.resident.Add(1)
 	s.reloads.Add(1)
 	s.enforceBudget()
-	return Release{ID: e.id, Payload: p, Eval: eval, Workers: e.stub.Workers}, nil
+	return Release{ID: e.id, Payload: p, Eval: eval, Cache: e.cache, Workers: e.stub.Workers}, nil
 }
 
 // enforceBudget evicts least-recently-used releases until the resident

@@ -1,0 +1,264 @@
+// Streaming answer wire format. A batch response at million-query
+// scale is written chunk by chunk while later chunks still execute, so
+// a client can no longer equate "the connection closed" with "the
+// workload finished": a mid-stream failure (or a killed connection)
+// would silently truncate the answer list. Every streamed answer body
+// therefore ends with an explicit trailer carrying the answer count and
+// a status — a response without a well-formed trailer IS truncated, by
+// definition, and the readers here say so.
+//
+// Two representations, mirroring the workload formats:
+//
+//   - lines: one answer per line (strconv 'g'/-1, which round-trips the
+//     exact float64), terminated by a '#'-prefixed trailer line
+//     ("# answers=40000 status=ok") that line-oriented consumers can
+//     skip as a comment — written by AnswerLines, read by ReadAnswerLines;
+//   - JSON: {"workers":W,"answers":[...],"queries":N,"trailer":{...}},
+//     streamed as the answers arrive — written by AnswerJSON, read by
+//     ReadAnswersJSON. The "queries" and "answers" fields keep the
+//     pre-streaming response shape, so clients that decoded the old
+//     buffered object keep working; the trailer is strictly additive.
+//
+// Float formatting: the JSON writer marshals each chunk with
+// encoding/json so the byte-level number rendering is identical to the
+// old buffered json.Encoder response — answers stay bit-identical
+// through either representation's round trip.
+
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trailer terminates a streamed answer body. Status is StatusOK when
+// every workload query was answered; StatusError means the stream was
+// cut deliberately after Answers answers (Error says why: a bad spec
+// mid-workload, a cancelled request, an engine failure). A body that
+// simply ends without any trailer was truncated by the transport.
+type Trailer struct {
+	// Answers is the number of answers actually delivered before the
+	// trailer.
+	Answers int `json:"answers"`
+	// Status is StatusOK or StatusError.
+	Status string `json:"status"`
+	// Error carries the failure detail when Status is StatusError.
+	Error string `json:"error,omitempty"`
+}
+
+// Trailer status values.
+const (
+	StatusOK    = "ok"
+	StatusError = "error"
+)
+
+// ErrTruncated reports an answer stream that ended without a trailer —
+// the transport dropped data after the last byte received. Compare with
+// errors.Is.
+var ErrTruncated = errors.New("workload: answer stream truncated (no trailer)")
+
+// AnswerWriter is the chunk-at-a-time answer emitter ExecuteStream's
+// sink drives: zero or more WriteChunk calls in answer order, then
+// exactly one Close carrying the trailer.
+type AnswerWriter interface {
+	WriteChunk(answers []float64) error
+	Close(t Trailer) error
+}
+
+// trailerPrefix starts the line format's trailer line; '#' cannot start
+// an answer (answers are numbers), so the trailer is unambiguous.
+const trailerPrefix = "# answers="
+
+// AnswerLines writes the line answer format.
+type AnswerLines struct {
+	bw *bufio.Writer
+}
+
+// NewAnswerLines returns an AnswerWriter emitting the line format to w.
+func NewAnswerLines(w io.Writer) *AnswerLines {
+	return &AnswerLines{bw: bufio.NewWriter(w)}
+}
+
+// WriteChunk emits one answer per line and flushes, so the chunk is on
+// the wire (time-to-first-answer) before the next one executes.
+func (a *AnswerLines) WriteChunk(answers []float64) error {
+	for _, v := range answers {
+		a.bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		if err := a.bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return a.bw.Flush()
+}
+
+// Close writes the trailer line and flushes.
+func (a *AnswerLines) Close(t Trailer) error {
+	a.bw.WriteString(trailerPrefix)
+	a.bw.WriteString(strconv.Itoa(t.Answers))
+	a.bw.WriteString(" status=")
+	a.bw.WriteString(t.Status)
+	if t.Error != "" {
+		a.bw.WriteString(" error=")
+		a.bw.WriteString(strconv.Quote(t.Error))
+	}
+	a.bw.WriteByte('\n')
+	return a.bw.Flush()
+}
+
+// ReadAnswerLines reads a line-format answer stream: the answers, the
+// trailer, and a non-nil error wrapping ErrTruncated if the stream
+// ended without one.
+func ReadAnswerLines(r io.Reader) ([]float64, Trailer, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var answers []float64
+	for sc.Scan() {
+		line := sc.Text()
+		if isBlank(line) {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t, err := parseTrailerLine(line)
+			if err != nil {
+				return answers, Trailer{}, err
+			}
+			return answers, t, nil
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line), 64)
+		if err != nil {
+			return answers, Trailer{}, fmt.Errorf("workload: bad answer line %q: %v", line, err)
+		}
+		answers = append(answers, v)
+	}
+	if err := sc.Err(); err != nil {
+		return answers, Trailer{}, fmt.Errorf("workload: reading answers: %w", err)
+	}
+	return answers, Trailer{}, fmt.Errorf("%d answers then EOF: %w", len(answers), ErrTruncated)
+}
+
+// parseTrailerLine decodes "# answers=N status=S [error="..."]".
+func parseTrailerLine(line string) (Trailer, error) {
+	rest, ok := strings.CutPrefix(line, trailerPrefix)
+	if !ok {
+		return Trailer{}, fmt.Errorf("workload: bad trailer line %q", line)
+	}
+	numStr, rest, ok := strings.Cut(rest, " status=")
+	if !ok {
+		return Trailer{}, fmt.Errorf("workload: trailer %q missing status", line)
+	}
+	n, err := strconv.Atoi(numStr)
+	if err != nil {
+		return Trailer{}, fmt.Errorf("workload: trailer %q: bad answer count: %v", line, err)
+	}
+	t := Trailer{Answers: n}
+	if status, errq, hasErr := strings.Cut(rest, " error="); hasErr {
+		t.Status = status
+		if t.Error, err = strconv.Unquote(errq); err != nil {
+			return Trailer{}, fmt.Errorf("workload: trailer %q: bad error field: %v", line, err)
+		}
+	} else {
+		t.Status = rest
+	}
+	return t, nil
+}
+
+// AnswerJSON writes the JSON answer format. The enclosing object opens
+// on the first chunk (or at Close for an empty stream) and closes with
+// the trailer, so a decoder sees valid JSON exactly when the stream
+// completed.
+type AnswerJSON struct {
+	w io.Writer
+	// Workers is echoed into the response head (0 omits nothing — it is
+	// still written, matching the old buffered response shape).
+	workers int
+	started bool
+	wrote   bool
+	err     error
+}
+
+// NewAnswerJSON returns an AnswerWriter emitting the JSON format to w;
+// workers is echoed in the response head like the old buffered response.
+func NewAnswerJSON(w io.Writer, workers int) *AnswerJSON {
+	return &AnswerJSON{w: w, workers: workers}
+}
+
+// start emits the object head up to the opening '[' of "answers".
+func (a *AnswerJSON) start() error {
+	if a.started {
+		return a.err
+	}
+	a.started = true
+	_, a.err = fmt.Fprintf(a.w, `{"workers":%d,"answers":[`, a.workers)
+	return a.err
+}
+
+// WriteChunk appends one chunk of answers to the streamed array. The
+// chunk is rendered with encoding/json so number formatting is
+// byte-identical to the old buffered encoder.
+func (a *AnswerJSON) WriteChunk(answers []float64) error {
+	if err := a.start(); err != nil {
+		return err
+	}
+	if len(answers) == 0 {
+		return nil
+	}
+	raw, err := json.Marshal(answers)
+	if err != nil {
+		a.err = err
+		return err
+	}
+	body := bytes.TrimSuffix(bytes.TrimPrefix(raw, []byte("[")), []byte("]"))
+	if a.wrote {
+		if _, err := a.w.Write([]byte(",")); err != nil {
+			a.err = err
+			return err
+		}
+	}
+	a.wrote = true
+	if _, err := a.w.Write(body); err != nil {
+		a.err = err
+		return err
+	}
+	return nil
+}
+
+// Close terminates the array and writes the "queries" echo plus the
+// trailer object.
+func (a *AnswerJSON) Close(t Trailer) error {
+	if err := a.start(); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(a.w, `],"queries":%d,"trailer":%s}`, t.Answers, raw)
+	if err == nil {
+		_, err = a.w.Write([]byte("\n"))
+	}
+	return err
+}
+
+// ReadAnswersJSON reads a JSON-format answer stream: the answers, the
+// trailer, and a non-nil error wrapping ErrTruncated if the body is not
+// a complete object with a trailer (i.e. the stream was cut).
+func ReadAnswersJSON(r io.Reader) ([]float64, Trailer, error) {
+	var out struct {
+		Answers []float64 `json:"answers"`
+		Trailer *Trailer  `json:"trailer"`
+	}
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		// A cut stream is malformed JSON (the object never closed).
+		return nil, Trailer{}, fmt.Errorf("%v: %w", err, ErrTruncated)
+	}
+	if out.Trailer == nil {
+		return out.Answers, Trailer{}, fmt.Errorf("complete JSON without trailer: %w", ErrTruncated)
+	}
+	return out.Answers, *out.Trailer, nil
+}

@@ -5,13 +5,18 @@
 //
 //   - lines: one query.Parse spec per line ("Age=30..49,Occ=#3..5"),
 //     blank lines skipped — the CSV-friendly form, written by
-//     WriteQueries and read by ReadPlan;
+//     WriteQueries and read by NewLineSpecs/ReadPlan;
 //   - JSON: either a bare array of spec strings or an object
-//     {"queries": ["spec", ...]}, read by ReadPlanJSON.
+//     {"queries": ["spec", ...]}, read by NewJSONSpecs/ReadPlanJSON.
 //
-// Both readers stream: specs pass one at a time through the same kind of
-// chokepoint as cli.ReadRows, so a 40 000-line workload body is never
-// buffered as text — memory holds the normalized queries only.
+// Both representations stream twice over: a SpecReader yields specs one
+// at a time (the body text is never buffered), and Queries adapts it
+// into a query.Source so parsing pipelines straight into a streaming
+// batch execution — a million-query workload never exists in memory as
+// a plan, only as the two in-flight chunks of query.Batch.ExecuteStream.
+// ReadPlan/ReadPlanJSON remain the buffered convenience for callers
+// that want the whole workload as an object (the experiment harness,
+// offline tools); they are thin accumulations over the same readers.
 
 package workload
 
@@ -26,90 +31,174 @@ import (
 	"repro/internal/rng"
 )
 
-// ReadPlan streams the line wire format from r into a validated plan.
-// Parse failures carry the 1-based line number and wrap query.ErrInvalid
-// (a client error); reader failures do not.
-func ReadPlan(schema *dataset.Schema, r io.Reader) (*query.Plan, error) {
-	plan := query.NewPlan(schema)
+// SpecReader streams query specs from one wire-format body. Next
+// returns the next spec, ok=false on clean end of input, or an error.
+// Pos describes the position of the most recently returned spec
+// ("line 7" for the line format, "query 7" for JSON) for error
+// messages that must point a client at the offending entry of a
+// 40 000-line workload.
+type SpecReader interface {
+	Next() (spec string, ok bool, err error)
+	Pos() string
+}
+
+// lineSpecs reads the line wire format: one spec per line, blank lines
+// skipped.
+type lineSpecs struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewLineSpecs returns a SpecReader over the line wire format.
+func NewLineSpecs(r io.Reader) SpecReader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		spec := sc.Text()
+	return &lineSpecs{sc: sc}
+}
+
+func (l *lineSpecs) Next() (string, bool, error) {
+	for l.sc.Scan() {
+		l.line++
+		spec := l.sc.Text()
 		if isBlank(spec) {
 			continue
 		}
-		if err := plan.Add(spec); err != nil {
-			return nil, fmt.Errorf("workload: line %d: %w", line, err)
-		}
+		return spec, true, nil
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("workload: reading queries: %w", err)
+	if err := l.sc.Err(); err != nil {
+		return "", false, fmt.Errorf("workload: reading queries: %w", err)
 	}
-	return plan, nil
+	return "", false, nil
 }
 
-// ReadPlanJSON streams the JSON wire format from r into a validated
-// plan: a bare array of spec strings, or an object whose "queries" field
-// is such an array (other fields are ignored). The decoder walks the
-// array token by token, so the body text is never held whole. Malformed
-// JSON and parse failures both wrap query.ErrInvalid — for an API
-// endpoint either way the client sent a bad workload.
-func ReadPlanJSON(schema *dataset.Schema, r io.Reader) (*query.Plan, error) {
-	dec := json.NewDecoder(r)
-	tok, err := dec.Token()
+func (l *lineSpecs) Pos() string { return fmt.Sprintf("line %d", l.line) }
+
+// jsonSpecs reads the JSON wire format: a bare array of spec strings,
+// or an object whose "queries" field is such an array (other fields are
+// ignored). The decoder walks the array token by token, so the body
+// text is never held whole. Malformed JSON wraps query.ErrInvalid — for
+// an API endpoint either way the client sent a bad workload.
+type jsonSpecs struct {
+	dec *json.Decoder
+	// inArray is set once the opening '[' of the spec array is consumed.
+	inArray bool
+	n       int
+}
+
+// NewJSONSpecs returns a SpecReader over the JSON wire format.
+func NewJSONSpecs(r io.Reader) SpecReader {
+	return &jsonSpecs{dec: json.NewDecoder(r)}
+}
+
+func (j *jsonSpecs) Next() (string, bool, error) {
+	if !j.inArray {
+		if err := j.enterArray(); err != nil {
+			return "", false, err
+		}
+	}
+	if !j.dec.More() {
+		return "", false, nil
+	}
+	var spec string
+	if err := j.dec.Decode(&spec); err != nil {
+		return "", false, invalidJSON(err)
+	}
+	j.n++
+	return spec, true, nil
+}
+
+func (j *jsonSpecs) Pos() string { return fmt.Sprintf("query %d", j.n) }
+
+// enterArray consumes tokens up to the opening '[' of the spec array.
+func (j *jsonSpecs) enterArray() error {
+	tok, err := j.dec.Token()
 	if err != nil {
-		return nil, invalidJSON(err)
+		return invalidJSON(err)
 	}
 	switch d := tok.(type) {
 	case json.Delim:
 		switch d {
 		case '[':
-			return readSpecArray(schema, dec)
+			j.inArray = true
+			return nil
 		case '{':
-			for dec.More() {
-				keyTok, err := dec.Token()
+			for j.dec.More() {
+				keyTok, err := j.dec.Token()
 				if err != nil {
-					return nil, invalidJSON(err)
+					return invalidJSON(err)
 				}
 				key, _ := keyTok.(string)
 				if key != "queries" {
 					// Skip the value of a foreign field.
 					var skip json.RawMessage
-					if err := dec.Decode(&skip); err != nil {
-						return nil, invalidJSON(err)
+					if err := j.dec.Decode(&skip); err != nil {
+						return invalidJSON(err)
 					}
 					continue
 				}
-				open, err := dec.Token()
+				open, err := j.dec.Token()
 				if err != nil {
-					return nil, invalidJSON(err)
+					return invalidJSON(err)
 				}
 				if open != json.Delim('[') {
-					return nil, fmt.Errorf("workload: \"queries\" must be an array of spec strings: %w", query.ErrInvalid)
+					return fmt.Errorf("workload: \"queries\" must be an array of spec strings: %w", query.ErrInvalid)
 				}
-				return readSpecArray(schema, dec)
+				j.inArray = true
+				return nil
 			}
-			return nil, fmt.Errorf("workload: JSON body has no \"queries\" array: %w", query.ErrInvalid)
+			return fmt.Errorf("workload: JSON body has no \"queries\" array: %w", query.ErrInvalid)
 		}
 	}
-	return nil, fmt.Errorf("workload: JSON body must be an array or {\"queries\": [...]}: %w", query.ErrInvalid)
+	return fmt.Errorf("workload: JSON body must be an array or {\"queries\": [...]}: %w", query.ErrInvalid)
 }
 
-// readSpecArray consumes spec strings up to the array's closing ']'.
-func readSpecArray(schema *dataset.Schema, dec *json.Decoder) (*query.Plan, error) {
-	plan := query.NewPlan(schema)
-	for dec.More() {
-		var spec string
-		if err := dec.Decode(&spec); err != nil {
-			return nil, invalidJSON(err)
+// Queries adapts a SpecReader into a query.Source by parsing each spec
+// against schema — the pipeline stage that lets wire-format decoding
+// overlap batch execution. Parse failures carry the reader's position
+// and wrap query.ErrInvalid (a client error); reader failures pass
+// through as the reader reported them.
+func Queries(schema *dataset.Schema, sr SpecReader) query.Source {
+	return func() (query.Query, bool, error) {
+		spec, ok, err := sr.Next()
+		if err != nil || !ok {
+			return query.Query{}, false, err
 		}
-		if err := plan.Add(spec); err != nil {
-			return nil, fmt.Errorf("workload: query %d: %w", plan.Len()+1, err)
+		q, err := query.Parse(schema, spec)
+		if err != nil {
+			return query.Query{}, false, fmt.Errorf("workload: %s: %w", sr.Pos(), err)
 		}
+		return q, true, nil
 	}
-	return plan, nil
+}
+
+// ReadPlan reads the line wire format from r into a validated plan.
+// Parse failures carry the 1-based line number and wrap query.ErrInvalid
+// (a client error); reader failures do not.
+func ReadPlan(schema *dataset.Schema, r io.Reader) (*query.Plan, error) {
+	return accumulate(schema, NewLineSpecs(r))
+}
+
+// ReadPlanJSON reads the JSON wire format from r into a validated plan:
+// a bare array of spec strings, or an object whose "queries" field is
+// such an array (other fields are ignored).
+func ReadPlanJSON(schema *dataset.Schema, r io.Reader) (*query.Plan, error) {
+	return accumulate(schema, NewJSONSpecs(r))
+}
+
+// accumulate drains a SpecReader into a plan (the buffered read path).
+func accumulate(schema *dataset.Schema, sr SpecReader) (*query.Plan, error) {
+	plan := query.NewPlan(schema)
+	src := Queries(schema, sr)
+	for {
+		q, ok, err := src()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return plan, nil
+		}
+		plan.AddQuery(q)
+	}
 }
 
 // invalidJSON tags a JSON decode failure as a client error.

@@ -31,6 +31,10 @@ type (
 	Query = query.Query
 	// QueryBuilder assembles queries against a schema.
 	QueryBuilder = query.Builder
+	// QuerySource streams queries into CountStream, one at a time.
+	QuerySource = query.Source
+	// AnswerSink receives CountStream's in-order answer chunks.
+	AnswerSink = query.Sink
 )
 
 // NewSchema validates and builds a schema. See dataset.NewSchema.
@@ -149,6 +153,19 @@ func (r *Release) Count(q Query) (float64, error) { return r.eval.Count(q) }
 // of the answer. ctx cancels a long workload between queries.
 func (r *Release) CountBatch(ctx context.Context, queries []Query, workers int) ([]float64, error) {
 	return query.Batch{Eval: r.eval, Workers: workers}.Execute(ctx, queries)
+}
+
+// CountStream answers a streamed workload in fixed-size in-order answer
+// chunks, delivering each chunk to sink while later chunks still
+// execute on the worker pool — peak memory is O(chunk), not
+// O(workload), so a million-query workload streams end-to-end. It
+// returns the number of answers delivered; on error, chunks delivered
+// before the failure stay delivered. Answers are bit-identical
+// (float64 ==) to CountBatch over the same queries at any worker count
+// (chunking reorders only computation, never arithmetic). See
+// query.Batch.ExecuteStream for the source/sink contract.
+func (r *Release) CountStream(ctx context.Context, src QuerySource, sink AnswerSink, workers int) (int, error) {
+	return query.Batch{Eval: r.eval, Workers: workers}.ExecuteStream(ctx, src, sink)
 }
 
 // Matrix returns the released noisy frequency matrix. Callers may read it
