@@ -41,6 +41,20 @@
 // a truncated one; line-oriented tools can skip it as a comment. The
 // workload fans across -parallelism workers; answers are bit-identical
 // at any worker count and to the daemon's batch endpoint.
+//
+// Publishes can be held to a privacy budget: -budget ε refuses the
+// publish outright — before the CSV is read or any noise drawn — once
+// the -tenant account (default "default") would exceed ε under
+// sequential composition. With -ledger-dir the balance is durable, so
+// the budget spans invocations:
+//
+//	privelet -schema ... -epsilon 0.4 -budget 1 -ledger-dir ~/.privelet \
+//	         -in monday.csv -out monday-noisy.csv
+//	# two more runs later the budget is spent, and the fourth run exits
+//	# with "privacy budget exhausted" without touching the input
+//
+// A publish that fails midway refunds its charge; only released noise
+// costs budget.
 package main
 
 import (
@@ -49,6 +63,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -69,10 +84,13 @@ func main() {
 		sanitize   = flag.Bool("sanitize", false, "round the release to non-negative integers")
 		mechName   = flag.String("mechanism", "privelet+",
 			fmt.Sprintf("publishing mechanism, one of %s", strings.Join(privelet.Mechanisms(), "|")))
-		basic    = flag.Bool("basic", false, "deprecated: alias for -mechanism basic")
-		workers  = flag.Int("parallelism", 0, "worker goroutines (0 = all cores); never changes a release or an answer")
-		loadPath = flag.String("load", "", "read a saved release (codec format) instead of publishing; schema comes from the artifact")
-		quePath  = flag.String("query", "", "workload file (one query spec per line) to answer against the -load release")
+		basic     = flag.Bool("basic", false, "deprecated: alias for -mechanism basic")
+		workers   = flag.Int("parallelism", 0, "worker goroutines (0 = all cores); never changes a release or an answer")
+		loadPath  = flag.String("load", "", "read a saved release (codec format) instead of publishing; schema comes from the artifact")
+		quePath   = flag.String("query", "", "workload file (one query spec per line) to answer against the -load release")
+		budget    = flag.Float64("budget", 0, "total ε budget for -tenant; an over-budget publish is refused before any noise is drawn (0 = unlimited)")
+		tenant    = flag.String("tenant", "default", "budget account the publish debits (with -budget or -ledger-dir)")
+		ledgerDir = flag.String("ledger-dir", "", "directory for durable budget balances; the budget then spans invocations")
 	)
 	flag.Parse()
 
@@ -83,7 +101,8 @@ func main() {
 		var conflicts []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "schema", "in", "epsilon", "sa", "seed", "sanitize", "mechanism", "basic", "save":
+			case "schema", "in", "epsilon", "sa", "seed", "sanitize", "mechanism", "basic", "save",
+				"budget", "tenant", "ledger-dir":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
 		})
@@ -148,6 +167,22 @@ func main() {
 		fatal(err)
 	}
 
+	// Charge the budget before ingest: an over-budget publish is refused
+	// with zero work done — no CSV pass, no noise drawn. The charge is
+	// refunded if the publish fails, so only released noise costs budget.
+	var (
+		led    *privelet.Ledger
+		charge *privelet.BudgetCharge
+	)
+	if *budget > 0 || *ledgerDir != "" {
+		if led, err = privelet.NewLedger(*ledgerDir, *budget); err != nil {
+			fatal(err)
+		}
+		if charge, err = led.Charge(*tenant, *epsilon); err != nil {
+			fatal(err)
+		}
+	}
+
 	// Stream rows into the frequency matrix: the table itself is never
 	// buffered, so memory stays O(domain) however large the CSV is.
 	pub, err := privelet.NewPublisher(schema)
@@ -155,13 +190,26 @@ func main() {
 		fatal(err)
 	}
 	if err := cli.ReadRows(schema, in, pub.Add); err != nil {
+		refund(led, charge)
 		fatal(err)
 	}
 	rel, err := pub.Publish(context.Background(), *mechName, params)
 	if err != nil {
+		refund(led, charge)
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "privelet: %s (n=%d)\n", rel, pub.Rows())
+	if led != nil {
+		epoch, err := led.NextEpoch(*tenant)
+		if err != nil {
+			fatal(err)
+		}
+		if rem := led.Remaining(*tenant); math.IsInf(rem, 1) {
+			fmt.Fprintf(os.Stderr, "privelet: tenant %s epoch %d (unlimited budget)\n", *tenant, epoch)
+		} else {
+			fmt.Fprintf(os.Stderr, "privelet: tenant %s epoch %d, ε remaining %g\n", *tenant, epoch, rem)
+		}
+	}
 
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
@@ -272,6 +320,16 @@ func writeMatrixCSV(w io.Writer, m *privelet.Matrix) error {
 		fmt.Fprintf(bw, "%g\n", data[off])
 	}
 	return bw.Flush()
+}
+
+// refund returns a failed publish's charge before the process exits;
+// it matters only with -ledger-dir, where the balance outlives the run.
+func refund(led *privelet.Ledger, charge *privelet.BudgetCharge) {
+	if led != nil && charge != nil {
+		if err := led.Refund(charge); err != nil {
+			fmt.Fprintln(os.Stderr, "privelet: refund:", err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -10,6 +10,15 @@
 //	# query it as often as you like
 //	curl 'localhost:8080/releases/r1/count?q=Age=30..49'
 //
+//	# or publish as a tenant against a privacy budget (-budget): each
+//	# success is a versioned release <tenant>/<epoch>, an exhausted
+//	# budget is a typed 429 (sequential composition across epochs), and
+//	# with -store-dir the refusal survives restarts
+//	curl -X POST --data-binary @data.csv \
+//	  'localhost:8080/tenants/alice/publish?schema=Age:ordinal:64&epsilon=0.5'
+//	curl 'localhost:8080/tenants/alice/budget'
+//	curl 'localhost:8080/releases/alice%2F1/count?q=Age=30..49'
+//
 //	# or a whole workload in one request (one query spec per line);
 //	# answers are bit-identical to per-query /count calls at any
 //	# ?parallelism=
@@ -50,6 +59,7 @@ import (
 	"time"
 
 	privelet "repro"
+	"repro/internal/ledger"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -65,6 +75,8 @@ func main() {
 		maxResident = flag.Int("max-resident", 0, "max releases kept in memory; colder ones spill to -store-dir and reload on access (0 = unlimited)")
 		shards      = flag.Int("shards", 0, fmt.Sprintf("release-store lock stripes (0 = default %d)", store.DefaultShards))
 		answerCache = flag.Int("answer-cache", store.DefaultAnswerCache, "max cached answers per release (repeat queries skip the evaluator; 0 disables)")
+		budget      = flag.Float64("budget", 0, "default per-tenant ε budget for /tenants/{id}/publish (0 = unlimited: spend tracked, never refused)")
+		ledgerDir   = flag.String("ledger-dir", "", "directory for durable budget balances (default: -store-dir, so refusals survive restarts whenever releases do)")
 	)
 	flag.Parse()
 
@@ -81,7 +93,20 @@ func main() {
 	if n := st.Len(); n > 0 {
 		fmt.Printf("priveletd recovered %d release(s) from %s\n", n, *storeDir)
 	}
-	srv := server.New(server.Config{MaxBody: *maxBody, Parallelism: *workers, DefaultMechanism: *mechName, Store: st})
+	// The ledger defaults to living beside the releases: a daemon durable
+	// enough to re-serve its releases must also remember what they cost,
+	// or a restart would reset sequential composition.
+	if *ledgerDir == "" {
+		*ledgerDir = *storeDir
+	}
+	led, err := ledger.New(ledger.Config{Dir: *ledgerDir, DefaultBudget: *budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := len(led.Tenants()); n > 0 {
+		fmt.Printf("priveletd recovered %d tenant budget(s) from %s\n", n, *ledgerDir)
+	}
+	srv := server.New(server.Config{MaxBody: *maxBody, Parallelism: *workers, DefaultMechanism: *mechName, Store: st, Ledger: led})
 	fmt.Printf("priveletd mechanisms: %s (default %s)\n", strings.Join(privelet.Mechanisms(), ", "), *mechName)
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -132,6 +132,30 @@
 // one shared workload wire format (one predicate spec per line, or
 // JSON; see docs/ARCHITECTURE.md's "Query serving" section).
 //
+// # Continual publication and privacy budgets
+//
+// The paper spends ε once, at publish time (§III); over an evolving
+// table each republish adds its ε under sequential composition, and a
+// Ledger is the account keeping that total inside a budget:
+//
+//	led, _ := privelet.NewLedger("/var/lib/privelet", 1.0) // 1ε per tenant, durable
+//	pub, _ := privelet.NewPublisher(schema)
+//	// ... pub.Add(...) ...
+//	rel, err := pub.Republish(ctx, "privelet+", privelet.Params{Epsilon: 0.4}, led, "alice")
+//	if errors.Is(err, privelet.ErrBudgetExhausted) {
+//		// refused before any noise was drawn; nothing was spent
+//	}
+//
+// Republish charges before publishing and refunds if the publish fails
+// or is cancelled — only released noise costs budget. Balances are
+// exact (fixed-point 10⁻⁶ ε units, so refusals are deterministic) and,
+// with a directory, durable across restarts. Continual wraps the loop
+// for a stream: rows feed a sliding window and every Window rows the
+// current window is republished as the tenant's next numbered epoch,
+// each epoch a store release under the ID "<tenant>/<epoch>". The
+// daemon exposes the same gate at POST /tenants/{id}/publish (typed
+// 429 on refusal) and GET /tenants/{id}/budget.
+//
 // # Security note
 //
 // This library reproduces the paper's mechanisms for research and

@@ -1,0 +1,46 @@
+package ledger
+
+import "testing"
+
+// BenchmarkLedgerCharge measures the charge/refund pair on a
+// memory-only ledger — the cost the tenant publish path adds before any
+// noise is drawn. The pair keeps the balance level so the loop never
+// exhausts. Durable mode adds one atomic file write per operation; that
+// cost belongs to the filesystem, not this hot path.
+func BenchmarkLedgerCharge(b *testing.B) {
+	l, err := New(Config{DefaultBudget: 1e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := l.Charge("bench", 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Refund(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLedgerChargeDurable is the same pair against a persisted
+// ledger, so the write-through cost is visible next to the memory one.
+func BenchmarkLedgerChargeDurable(b *testing.B) {
+	l, err := New(Config{Dir: b.TempDir(), DefaultBudget: 1e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := l.Charge("bench", 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Refund(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

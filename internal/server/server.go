@@ -22,6 +22,16 @@
 //
 //	POST   /publish?schema=...&epsilon=...&sa=...&seed=...&mechanism=...&parallelism=...
 //	       body: headerless integer CSV           → {"id": "...", ...}
+//	POST   /tenants/{tenant}/publish?schema=...   → {"id": "<tenant>/<epoch>", ...}
+//	       the same publish, gated by the tenant's privacy-budget
+//	       ledger: ε is debited before any noise is drawn (sequential
+//	       composition across the tenant's epochs), refunded if the
+//	       publish fails or the client disconnects, and an exhausted
+//	       budget is refused with HTTP 429 and a typed body
+//	       ({"code":"budget_exhausted", ...}) — never a 500. Each
+//	       success registers a versioned release "<tenant>/<epoch>",
+//	       queryable like any other (URL-encode the slash: %2F).
+//	GET    /tenants/{tenant}/budget               → balance, epoch counter, epoch list
 //	GET    /releases                              → list of release summaries
 //	GET    /releases/{id}                         → one summary
 //	DELETE /releases/{id}                         → withdraw release, delete spill file
@@ -36,7 +46,8 @@
 //	GET    /releases/{id}/export                  → binary codec payload
 //	GET    /mechanisms                            → registered mechanism names
 //	GET    /stats                                 → store accounting (evictions, reloads,
-//	                                                answer-cache hits/misses, ...)
+//	                                                answer-cache hits/misses, ...) plus
+//	                                                ledger counters (charges/refunds/refusals)
 //
 // Query syntax (the q parameter and each workload spec; internal/query's
 // Parse grammar): comma-separated predicates,
@@ -64,6 +75,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"runtime"
@@ -75,6 +87,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/codec"
 	"repro/internal/dataset"
+	"repro/internal/ledger"
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -99,12 +112,21 @@ type Config struct {
 	// inject a spillable one (store.Config{Dir, MaxResident}) to bound
 	// memory and survive restarts.
 	Store *store.Store
+	// Ledger gates the tenant publish endpoint. nil means an in-memory
+	// ledger with Budget as the per-tenant default; inject a durable one
+	// (ledger.Config{Dir}) so refusals survive restarts.
+	Ledger *ledger.Ledger
+	// Budget is the default per-tenant ε budget for the implicit ledger
+	// built when Ledger is nil; ≤ 0 means unlimited (spend is tracked,
+	// never refused). Ignored when Ledger is set.
+	Budget float64
 }
 
 // Server is an HTTP front end over a release store. The zero value is
 // not usable; construct with New.
 type Server struct {
 	store       *store.Store
+	ledger      *ledger.Ledger
 	maxBody     int64
 	parallelism int
 	defaultMech string
@@ -137,7 +159,14 @@ func New(cfg Config) *Server {
 		// The store config without a Dir cannot fail.
 		st, _ = store.New(store.Config{Parallelism: cfg.Parallelism, AnswerCache: store.DefaultAnswerCache})
 	}
-	s := &Server{store: st, maxBody: cfg.MaxBody, parallelism: cfg.Parallelism, defaultMech: cfg.DefaultMechanism}
+	led := cfg.Ledger
+	if led == nil {
+		var err error
+		if led, err = ledger.New(ledger.Config{DefaultBudget: cfg.Budget}); err != nil {
+			panic(fmt.Sprintf("server: bad Config.Budget: %v", err))
+		}
+	}
+	s := &Server{store: st, ledger: led, maxBody: cfg.MaxBody, parallelism: cfg.Parallelism, defaultMech: cfg.DefaultMechanism}
 	for _, stub := range st.List() {
 		if n, ok := parseReleaseID(stub.ID); ok && n > s.nextID.Load() {
 			s.nextID.Store(n)
@@ -162,6 +191,8 @@ func parseReleaseID(id string) (int64, bool) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /publish", s.handlePublish)
+	mux.HandleFunc("POST /tenants/{tenant}/publish", s.handleTenantPublish)
+	mux.HandleFunc("GET /tenants/{tenant}/budget", s.handleTenantBudget)
 	mux.HandleFunc("GET /releases", s.handleList)
 	mux.HandleFunc("GET /releases/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /releases/{id}", s.handleDelete)
@@ -202,30 +233,46 @@ func stubSummary(st store.Stub) summary {
 	}
 }
 
-func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
+// publishSpec is a fully parsed and validated publish request —
+// everything both publish endpoints need before reading the body, so
+// the ledger-gated endpoint can price the request (params.Epsilon)
+// without having done any work yet.
+type publishSpec struct {
+	schema *dataset.Schema
+	mech   privelet.Mechanism
+	params privelet.Params
+}
+
+// parsePublish validates a publish request's query parameters without
+// touching the body; it writes the HTTP error itself and reports
+// ok=false then. Rejecting mismatches here keeps the CSV pass — the
+// request's dominant cost with streaming ingest — behind all the cheap
+// checks, and (on the tenant endpoint) keeps malformed requests from
+// ever touching the ledger.
+func (s *Server) parsePublish(w http.ResponseWriter, req *http.Request) (publishSpec, bool) {
 	qp := req.URL.Query()
 	schemaSpec := qp.Get("schema")
 	if schemaSpec == "" {
 		httpError(w, http.StatusBadRequest, "missing schema parameter")
-		return
+		return publishSpec{}, false
 	}
 	schema, err := cli.ParseSchema(schemaSpec)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return publishSpec{}, false
 	}
 	epsilon := 1.0
 	if v := qp.Get("epsilon"); v != "" {
 		if epsilon, err = strconv.ParseFloat(v, 64); err != nil {
 			httpError(w, http.StatusBadRequest, "bad epsilon: "+err.Error())
-			return
+			return publishSpec{}, false
 		}
 	}
 	var seed uint64
 	if v := qp.Get("seed"); v != "" {
 		if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
 			httpError(w, http.StatusBadRequest, "bad seed: "+err.Error())
-			return
+			return publishSpec{}, false
 		}
 	}
 	sa := cli.SplitNonEmpty(qp.Get("sa"))
@@ -240,7 +287,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 	mech, err := privelet.MechanismByName(mechName)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return publishSpec{}, false
 	}
 	// Compatibility: the pre-registry server ignored sa for the basic
 	// mechanism (it pinned SA = all attributes itself), so existing
@@ -251,66 +298,214 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 	par, err := s.workerBudget(qp)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return publishSpec{}, false
 	}
-
-	// Reject parameter/mechanism mismatches before reading the body —
-	// with streaming ingest the CSV pass is the request's dominant cost.
 	params := privelet.Params{Epsilon: epsilon, SA: sa, Seed: seed, Parallelism: par}
 	if err := privelet.ValidateParams(mech, schema, params); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return publishSpec{}, false
 	}
+	return publishSpec{schema: schema, mech: mech, params: params}, true
+}
 
-	// Stream the CSV body straight into the frequency matrix: the server
-	// never materializes the uploaded table, so a publish holds O(domain)
-	// memory regardless of the row count (MaxBody still bounds the bytes
-	// read, as an upload-abuse guard rather than a memory ceiling).
-	pub, err := privelet.NewPublisher(schema)
+// runPublish streams the request body into a frequency matrix and runs
+// the mechanism, returning the storable payload; it writes the HTTP
+// error itself and reports ok=false then. The CSV body streams straight
+// into the matrix — the server never materializes the uploaded table,
+// so a publish holds O(domain) memory regardless of the row count
+// (MaxBody still bounds the bytes read, as an upload-abuse guard rather
+// than a memory ceiling).
+func (s *Server) runPublish(w http.ResponseWriter, req *http.Request, spec publishSpec) (*codec.Payload, bool) {
+	pub, err := privelet.NewPublisher(spec.schema)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, false
 	}
-	if err := cli.ReadRows(schema, http.MaxBytesReader(w, req.Body, s.maxBody), pub.Add); err != nil {
+	if err := cli.ReadRows(spec.schema, http.MaxBytesReader(w, req.Body, s.maxBody), pub.Add); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, false
 	}
 
 	// The publish runs under the request context: when the client
 	// disconnects mid-publish, the engine's workers stop at the next
 	// sub-matrix boundary instead of finishing a release nobody wants.
-	res, err := mech.Publish(req.Context(), pub.Frequency(), params)
+	res, err := spec.mech.Publish(req.Context(), pub.Frequency(), spec.params)
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client is gone; the status is for the access log only.
 		httpError(w, statusClientClosedRequest, err.Error())
-		return
+		return nil, false
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	meta := codec.Meta{Mechanism: spec.mech.Name(), Epsilon: res.Epsilon, Rho: res.Rho, Lambda: res.Lambda, Bound: res.VarianceBound}
+	return &codec.Payload{Meta: meta, Schema: spec.schema, Noisy: res.Noisy}, true
+}
+
+// payloadSummary builds the created-release summary from data in hand
+// rather than read back from the store: a freshly-put release is
+// resident by definition.
+func payloadSummary(id string, p *codec.Payload, workers int) summary {
+	return summary{
+		ID:        id,
+		Mechanism: p.Meta.Mechanism,
+		Epsilon:   p.Meta.Epsilon,
+		Rho:       p.Meta.Rho,
+		Lambda:    p.Meta.Lambda,
+		Bound:     p.Meta.Bound,
+		Entries:   p.Noisy.Len(),
+		Attrs:     allNames(p.Schema),
+		Workers:   workers,
+		Resident:  true,
+	}
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
+	spec, ok := s.parsePublish(w, req)
+	if !ok {
 		return
 	}
-	meta := codec.Meta{Mechanism: mech.Name(), Epsilon: res.Epsilon, Rho: res.Rho, Lambda: res.Lambda, Bound: res.VarianceBound}
-
+	payload, ok := s.runPublish(w, req, spec)
+	if !ok {
+		return
+	}
 	id := fmt.Sprintf("r%d", s.nextID.Add(1))
-	payload := &codec.Payload{Meta: meta, Schema: schema, Noisy: res.Noisy}
-	if err := s.store.Put(id, payload, par); err != nil {
+	if err := s.store.Put(id, payload, spec.params.Parallelism); err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	// The summary is built from data in hand rather than read back from
-	// the store: a freshly-put release is resident by definition.
-	writeJSON(w, http.StatusCreated, summary{
-		ID:        id,
-		Mechanism: meta.Mechanism,
-		Epsilon:   meta.Epsilon,
-		Rho:       meta.Rho,
-		Lambda:    meta.Lambda,
-		Bound:     meta.Bound,
-		Entries:   res.Noisy.Len(),
-		Attrs:     allNames(schema),
-		Workers:   par,
-		Resident:  true,
+	writeJSON(w, http.StatusCreated, payloadSummary(id, payload, spec.params.Parallelism))
+}
+
+// tenantSummary extends the release summary with the continual-
+// publication fields: which tenant/epoch the release is, and what is
+// left of the budget that paid for it.
+type tenantSummary struct {
+	summary
+	Tenant string `json:"tenant"`
+	Epoch  uint64 `json:"epoch"`
+	// Remaining is omitted for unlimited-budget tenants (encoding/json
+	// cannot represent +Inf).
+	Remaining *float64 `json:"budget_remaining,omitempty"`
+}
+
+// handleTenantPublish is the ledger-gated publish: params.Epsilon is
+// charged to the tenant's budget before the body is read or any noise
+// drawn (sequential composition across the tenant's epochs — paper
+// §III prices each release at its ε), refunded if anything downstream
+// fails, and the release is stored under the versioned ID
+// "<tenant>/<epoch>". An exhausted budget is a typed 429, never a 500.
+func (s *Server) handleTenantPublish(w http.ResponseWriter, req *http.Request) {
+	tenant := req.PathValue("tenant")
+	if err := ledger.ValidateTenant(tenant); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, ok := s.parsePublish(w, req)
+	if !ok {
+		return
+	}
+	charge, err := s.ledger.Charge(tenant, spec.params.Epsilon)
+	if err != nil {
+		if errors.Is(err, ledger.ErrBudgetExhausted) {
+			s.budgetRefused(w, tenant, err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	payload, ok := s.runPublish(w, req, spec)
+	if !ok {
+		// The error response is already on the wire; an aborted publish
+		// released nothing, so it spends nothing. A refund can only fail
+		// on ledger persistence, which the ledger rolls back internally —
+		// the in-memory balance stays correct either way.
+		_ = s.ledger.Refund(charge)
+		return
+	}
+	epoch, err := s.ledger.NextEpoch(tenant)
+	if err == nil {
+		err = s.store.Put(fmt.Sprintf("%s/%d", tenant, epoch), payload, spec.params.Parallelism)
+	}
+	if err != nil {
+		if rerr := s.ledger.Refund(charge); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	id := fmt.Sprintf("%s/%d", tenant, epoch)
+	writeJSON(w, http.StatusCreated, tenantSummary{
+		summary:   payloadSummary(id, payload, spec.params.Parallelism),
+		Tenant:    tenant,
+		Epoch:     epoch,
+		Remaining: finiteOrNil(s.ledger.Remaining(tenant)),
 	})
+}
+
+// budgetRefused writes the typed 429 for an exhausted budget: machine-
+// readable code plus the balance, so a client can tell "come back after
+// a Grant" apart from every other 4xx without string matching.
+func (s *Server) budgetRefused(w http.ResponseWriter, tenant string, err error) {
+	b := s.ledger.Balance(tenant)
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":     err.Error(),
+		"code":      "budget_exhausted",
+		"tenant":    tenant,
+		"budget":    b.Budget,
+		"spent":     b.Spent,
+		"remaining": b.Remaining,
+	})
+}
+
+// budgetView is the JSON shape of GET /tenants/{tenant}/budget.
+type budgetView struct {
+	Tenant string `json:"tenant"`
+	Finite bool   `json:"finite"`
+	// Budget and Remaining are omitted for unlimited-budget tenants
+	// (encoding/json cannot represent +Inf); Finite=false marks them.
+	Budget    *float64 `json:"budget,omitempty"`
+	Spent     float64  `json:"spent"`
+	Remaining *float64 `json:"remaining,omitempty"`
+	Epoch     uint64   `json:"epoch"`
+	Epochs    []string `json:"epochs"`
+}
+
+// handleTenantBudget reports a tenant's budget position and the epochs
+// currently in the store. A tenant that never published reports its
+// fresh default position (200, not 404): under the ledger's lazy
+// accounts, "unknown" and "hasn't spent yet" are the same state.
+func (s *Server) handleTenantBudget(w http.ResponseWriter, req *http.Request) {
+	tenant := req.PathValue("tenant")
+	if err := ledger.ValidateTenant(tenant); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	b := s.ledger.Balance(tenant)
+	stubs := s.store.ListPrefix(tenant + "/")
+	epochs := make([]string, 0, len(stubs))
+	for _, st := range stubs {
+		epochs = append(epochs, st.ID)
+	}
+	writeJSON(w, http.StatusOK, budgetView{
+		Tenant:    b.Tenant,
+		Finite:    b.Finite,
+		Budget:    finiteOrNil(b.Budget),
+		Spent:     b.Spent,
+		Remaining: finiteOrNil(b.Remaining),
+		Epoch:     b.Epoch,
+		Epochs:    epochs,
+	})
+}
+
+// finiteOrNil guards JSON marshalling against the unlimited budget's
+// +Inf, which encoding/json rejects outright.
+func finiteOrNil(v float64) *float64 {
+	if math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
 }
 
 // statusClientClosedRequest is nginx's conventional status for requests
@@ -583,8 +778,14 @@ func (s *Server) handleExport(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// handleStats reports store accounting with the ledger's counters
+// nested under "ledger"; the store fields stay at the top level, so
+// pre-ledger clients decoding into store.Stats keep working.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.Stats())
+	writeJSON(w, http.StatusOK, struct {
+		store.Stats
+		Ledger ledger.Stats `json:"ledger"`
+	}{s.store.Stats(), s.ledger.Stats()})
 }
 
 // ParseQuery parses the q= syntax. It is a thin alias kept for

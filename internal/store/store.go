@@ -265,7 +265,7 @@ func (s *Store) recover() error {
 		if !strings.HasSuffix(name, spillExt) {
 			continue
 		}
-		id := strings.TrimSuffix(name, spillExt)
+		id := spillID(strings.TrimSuffix(name, spillExt))
 		if validateID(id) != nil {
 			continue // not one of ours
 		}
@@ -458,12 +458,23 @@ func (s *Store) Describe(id string) (Stub, error) {
 
 // List returns every release's summary, sorted by ID (shortest first,
 // then lexicographic, so r2 sorts before r10). It never touches disk.
-func (s *Store) List() []Stub {
+func (s *Store) List() []Stub { return s.ListPrefix("") }
+
+// ListPrefix returns the summaries of releases whose ID starts with
+// prefix, with List's ordering — under the "<tenant>/<epoch>" ID
+// scheme, ListPrefix("alice/") is tenant alice's epoch list (the
+// shortest-first order ranks epochs numerically). Like List it never
+// touches disk, so enumerating a tenant's epochs cannot thrash the
+// resident budget.
+func (s *Store) ListPrefix(prefix string) []Stub {
 	var out []Stub
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for _, e := range sh.entries {
+			if !strings.HasPrefix(e.id, prefix) {
+				continue
+			}
 			st := e.stub
 			st.Resident = e.payload != nil
 			out = append(out, st)
@@ -671,29 +682,46 @@ func makeStub(id string, p *codec.Payload, workers int) Stub {
 	}
 }
 
-// validateID keeps IDs safe to embed in spill filenames: non-empty,
-// ≤ 128 bytes, alphanumerics plus '.', '_', '-', not starting with '.'.
+// validateID keeps IDs safe to embed in spill filenames: one or two
+// '/'-separated segments (the two-segment form is the continual-
+// publication "<tenant>/<epoch>" scheme), ≤ 128 bytes overall, each
+// segment non-empty, not starting with '.', alphanumerics plus '.',
+// '_', '-'. The '/' never reaches the filesystem — spillPath flattens
+// it to '~', a byte the segment grammar excludes, so the mapping is
+// injective and a tenant's epochs can never collide with a plain
+// release's file.
 func validateID(id string) error {
 	if id == "" || len(id) > 128 {
 		return fmt.Errorf("store: invalid release id %q", id)
 	}
-	if id[0] == '.' {
-		return fmt.Errorf("store: invalid release id %q", id)
-	}
-	for i := 0; i < len(id); i++ {
-		c := id[i]
-		switch {
-		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
-			c == '.', c == '_', c == '-':
-		default:
+	seen := 0
+	for seg := range strings.SplitSeq(id, "/") {
+		if seen++; seen > 2 {
+			return fmt.Errorf("store: invalid release id %q (at most one '/')", id)
+		}
+		if seg == "" || seg[0] == '.' {
 			return fmt.Errorf("store: invalid release id %q", id)
+		}
+		for i := 0; i < len(seg); i++ {
+			c := seg[i]
+			switch {
+			case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+				c == '.', c == '_', c == '-':
+			default:
+				return fmt.Errorf("store: invalid release id %q", id)
+			}
 		}
 	}
 	return nil
 }
 
+// spillName flattens a release ID to its spill filename stem (see
+// validateID for why '~'); spillID inverts it.
+func spillName(id string) string { return strings.ReplaceAll(id, "/", "~") }
+func spillID(name string) string { return strings.ReplaceAll(name, "~", "/") }
+
 func (s *Store) spillPath(id string) string {
-	return filepath.Join(s.cfg.Dir, id+spillExt)
+	return filepath.Join(s.cfg.Dir, spillName(id)+spillExt)
 }
 
 // writeSpill atomically writes the release's spill file: encode to a

@@ -121,10 +121,14 @@ func TestPutErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := testPayload(t, 0)
-	for _, id := range []string{"", "../evil", "a/b", ".hidden", "sp ace"} {
+	for _, id := range []string{"", "../evil", "a/b/c", "a//b", "/b", "a/", ".hidden", "a/.hidden", "sp ace", "a~b"} {
 		if err := s.Put(id, p, 0); err == nil {
 			t.Errorf("Put(%q) accepted an invalid id", id)
 		}
+	}
+	// The two-segment "<tenant>/<epoch>" form is valid.
+	if err := s.Put("tenant/1", p, 0); err != nil {
+		t.Errorf("Put(tenant/1): %v", err)
 	}
 	if err := s.Put("dup", p, 0); err != nil {
 		t.Fatal(err)
@@ -300,6 +304,58 @@ func TestRestartRecovery(t *testing.T) {
 	}
 	if got := s4.Stats(); got.Resident != 2 || got.Spilled != 1 {
 		t.Fatalf("bounded recovery stats = %+v, want 2 resident / 1 spilled", got)
+	}
+}
+
+// TestLedgerEpochIDsSpillAndRecover covers the continual-publication ID
+// scheme end to end at the store layer: "<tenant>/<epoch>" IDs spill
+// under flattened '~' filenames, recover with the slash restored,
+// enumerate per tenant via ListPrefix in epoch order, and Remove
+// reclaims the flattened file.
+func TestLedgerEpochIDsSpillAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"alice/1", "alice/2", "alice/10", "bob/1", "plain"}
+	for i, id := range ids {
+		if err := s1.Put(id, testPayload(t, uint64(i)), 0); err != nil {
+			t.Fatalf("Put(%q): %v", id, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "alice~2.prvl")); err != nil {
+		t.Fatalf("flattened spill file missing: %v", err)
+	}
+
+	s2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != len(ids) {
+		t.Fatalf("recovered %d releases, want %d", s2.Len(), len(ids))
+	}
+	got := s2.ListPrefix("alice/")
+	wantOrder := []string{"alice/1", "alice/2", "alice/10"} // shortest-first = numeric epochs
+	if len(got) != len(wantOrder) {
+		t.Fatalf("ListPrefix(alice/) = %d stubs, want %d", len(got), len(wantOrder))
+	}
+	for i, st := range got {
+		if st.ID != wantOrder[i] {
+			t.Fatalf("ListPrefix[%d] = %q, want %q", i, st.ID, wantOrder[i])
+		}
+	}
+	if rel, err := s2.Get("alice/2"); err != nil || rel.ID != "alice/2" {
+		t.Fatalf("Get(alice/2) = %v, %v", rel.ID, err)
+	}
+	if err := s2.Remove("alice/2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "alice~2.prvl")); !os.IsNotExist(err) {
+		t.Fatal("Remove left the flattened spill file behind")
+	}
+	if len(s2.ListPrefix("alice/")) != 2 {
+		t.Fatal("ListPrefix still lists the removed epoch")
 	}
 }
 

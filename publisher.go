@@ -2,6 +2,7 @@ package privelet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/matrix"
@@ -36,18 +37,29 @@ func NewPublisher(schema *Schema) (*Publisher, error) {
 	return &Publisher{freq: &Frequency{Schema: schema, M: m}, strides: matrix.Strides(schema.Dims())}, nil
 }
 
-// Add folds one row into the frequency matrix; vals[i] must lie in
-// [0, |A_i|). It allocates nothing.
-func (p *Publisher) Add(vals ...int) error {
+// offset validates a row and returns its frequency-matrix offset; the
+// shared address computation behind Add and the Continual window's
+// evictions.
+func (p *Publisher) offset(vals []int) (int, error) {
 	if len(vals) != len(p.strides) {
-		return fmt.Errorf("privelet: row has %d values, want %d", len(vals), len(p.strides))
+		return 0, fmt.Errorf("privelet: row has %d values, want %d", len(vals), len(p.strides))
 	}
 	off := 0
 	for i, v := range vals {
 		if a := p.freq.Schema.Attr(i); v < 0 || v >= a.Size {
-			return fmt.Errorf("privelet: value %d out of domain [0,%d) for attribute %q", v, a.Size, a.Name)
+			return 0, fmt.Errorf("privelet: value %d out of domain [0,%d) for attribute %q", v, a.Size, a.Name)
 		}
 		off += v * p.strides[i]
+	}
+	return off, nil
+}
+
+// Add folds one row into the frequency matrix; vals[i] must lie in
+// [0, |A_i|). It allocates nothing.
+func (p *Publisher) Add(vals ...int) error {
+	off, err := p.offset(vals)
+	if err != nil {
+		return err
 	}
 	p.freq.M.Data()[off]++
 	p.rows++
@@ -101,4 +113,37 @@ func (p *Publisher) Frequency() *Frequency { return p.freq }
 // parallelism; docs/ARCHITECTURE.md states the exact contract.
 func (p *Publisher) Publish(ctx context.Context, mechanism string, params Params) (*Release, error) {
 	return PublishWith(ctx, mechanism, p.freq, params)
+}
+
+// Republish is Publish gated by a privacy-budget ledger — the continual-
+// publication primitive. It charges params.Epsilon to tenant's budget
+// before any noise is drawn (so an exhausted tenant is refused with
+// ErrBudgetExhausted and zero work done) and refunds the charge if the
+// publish fails or ctx is cancelled: under sequential composition an
+// aborted publish released nothing, so it spent nothing. The
+// mechanism/parameter validation runs before the charge, so a malformed
+// request never touches the ledger at all.
+func (p *Publisher) Republish(ctx context.Context, mechanism string, params Params, led *Ledger, tenant string) (*Release, error) {
+	if led == nil {
+		return nil, fmt.Errorf("privelet: Republish requires a ledger")
+	}
+	mech, err := MechanismByName(mechanism)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateParams(mech, p.freq.Schema, params); err != nil {
+		return nil, err
+	}
+	charge, err := led.Charge(tenant, params.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := PublishWith(ctx, mechanism, p.freq, params)
+	if err != nil {
+		if rerr := led.Refund(charge); rerr != nil {
+			return nil, errors.Join(err, rerr)
+		}
+		return nil, err
+	}
+	return rel, nil
 }
