@@ -1,4 +1,6 @@
-// Command priveletd serves differentially-private releases over HTTP.
+// Command priveletd serves differentially-private releases over HTTP —
+// as a single node, as a member of a cluster, or (with -route) as the
+// cluster's routing tier.
 //
 //	priveletd -addr :8080 -store-dir /var/lib/privelet -max-resident 64
 //
@@ -31,8 +33,28 @@
 //	curl -o release.prvl 'localhost:8080/releases/r1/export'
 //
 //	# watch the store: shards, resident/spilled counts, evictions,
-//	# reloads, answer-cache hits/misses/evictions
+//	# reloads, answer-cache hits/misses/evictions, node identity
 //	curl 'localhost:8080/stats'
+//
+// # Cluster mode
+//
+// Several daemons form a cluster behind one router process (see
+// internal/cluster). Start each node with a stable -node-name, then a
+// router with -route over the full peer list:
+//
+//	priveletd -addr :8081 -node-name n1 -store-dir /var/lib/p1 &
+//	priveletd -addr :8082 -node-name n2 -store-dir /var/lib/p2 &
+//	priveletd -addr :8083 -node-name n3 -store-dir /var/lib/p3 &
+//	priveletd -route -addr :8080 -replicas 2 \
+//	  -peers n1=http://localhost:8081,n2=http://localhost:8082,n3=http://localhost:8083
+//
+// The router mirrors the node API: publishes consistent-hash onto a
+// primary and replicate synchronously, reads fan out to any healthy
+// replica, /stats shows the whole fleet. The daemon binds its port
+// immediately and answers /healthz at once, but /readyz (the router's
+// probe target) returns 503 with a reason until the store and ledger
+// have finished recovering — a restarting node rejoins the ring only
+// once every recovered release is servable.
 //
 // Releases live in a sharded store (internal/store). With -store-dir set
 // every release is also written through to disk, so the daemon survives
@@ -47,7 +69,8 @@
 // Batch answers stream back in fixed-size chunks with an explicit
 // trailer (see internal/server), so clients detect truncated responses.
 //
-// See internal/server for the full API and query syntax.
+// See internal/server for the full API and query syntax, and
+// internal/cluster for the ring, replication, and failure semantics.
 package main
 
 import (
@@ -56,9 +79,11 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	privelet "repro"
+	"repro/internal/cluster"
 	"repro/internal/ledger"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -77,42 +102,110 @@ func main() {
 		answerCache = flag.Int("answer-cache", store.DefaultAnswerCache, "max cached answers per release (repeat queries skip the evaluator; 0 disables)")
 		budget      = flag.Float64("budget", 0, "default per-tenant ε budget for /tenants/{id}/publish (0 = unlimited: spend tracked, never refused)")
 		ledgerDir   = flag.String("ledger-dir", "", "directory for durable budget balances (default: -store-dir, so refusals survive restarts whenever releases do)")
+		nodeName    = flag.String("node-name", "", "stable cluster identity of this node, stamped on /stats (empty = hostname); placement hashes it, so renaming a node moves its data")
+		route       = flag.Bool("route", false, "run as the cluster routing tier over -peers instead of serving releases")
+		peers       = flag.String("peers", "", "comma-separated cluster peer list, name=url each (route mode)")
+		replicas    = flag.Int("replicas", 2, "copies of each release across the ring (route mode; clamped to the peer count)")
+		probeEvery  = flag.Duration("probe-interval", cluster.DefaultProbeInterval, "health-probe interval for the ring's nodes (route mode)")
 	)
 	flag.Parse()
+
+	if *route {
+		runRouter(*addr, *peers, *replicas, *maxBody, *probeEvery)
+		return
+	}
 
 	if _, err := privelet.MechanismByName(*mechName); err != nil {
 		log.Fatal(err)
 	}
-	// The store shares the publish worker ceiling for its evaluator
-	// rebuilds (startup recovery and spilled-release reloads); rebuilds
-	// are bit-identical at any worker count, so this is latency-only.
-	st, err := store.New(store.Config{Dir: *storeDir, MaxResident: *maxResident, Shards: *shards, Parallelism: *workers, AnswerCache: *answerCache})
+	// Bind the port before recovery: /healthz answers immediately, and
+	// /readyz 503s with a reason until the store and ledger are loaded —
+	// the window a cluster router's probes keep the node out of rotation.
+	var handler atomic.Value
+	handler.Store(bootHandler("recovering releases and budget ledgers"))
+	go func() {
+		// The store shares the publish worker ceiling for its evaluator
+		// rebuilds (startup recovery and spilled-release reloads);
+		// rebuilds are bit-identical at any worker count, so this is
+		// latency-only.
+		st, err := store.New(store.Config{Dir: *storeDir, MaxResident: *maxResident, Shards: *shards, Parallelism: *workers, AnswerCache: *answerCache})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := st.Len(); n > 0 {
+			fmt.Printf("priveletd recovered %d release(s) from %s\n", n, *storeDir)
+		}
+		// The ledger defaults to living beside the releases: a daemon
+		// durable enough to re-serve its releases must also remember what
+		// they cost, or a restart would reset sequential composition.
+		if *ledgerDir == "" {
+			*ledgerDir = *storeDir
+		}
+		led, err := ledger.New(ledger.Config{Dir: *ledgerDir, DefaultBudget: *budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := len(led.Tenants()); n > 0 {
+			fmt.Printf("priveletd recovered %d tenant budget(s) from %s\n", n, *ledgerDir)
+		}
+		srv := server.New(server.Config{MaxBody: *maxBody, Parallelism: *workers, DefaultMechanism: *mechName, Store: st, Ledger: led, NodeName: *nodeName})
+		handler.Store(srv.Handler())
+		fmt.Printf("priveletd ready; mechanisms: %s (default %s)\n", strings.Join(privelet.Mechanisms(), ", "), *mechName)
+	}()
+	serve(*addr, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, req)
+	}), "priveletd")
+}
+
+// bootHandler serves the recovery window: alive, not ready.
+func bootHandler(reason string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"error\":%q,\"code\":\"not_ready\"}\n", "starting: "+reason)
+	})
+	return mux
+}
+
+// runRouter runs the cluster routing tier: a static consistent-hash
+// ring over -peers with health-probed read fan-out and synchronous
+// publish replication (see internal/cluster).
+func runRouter(addr, peerSpec string, replicas int, maxBody int64, probeEvery time.Duration) {
+	nodes, err := cluster.ParsePeers(peerSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if n := st.Len(); n > 0 {
-		fmt.Printf("priveletd recovered %d release(s) from %s\n", n, *storeDir)
-	}
-	// The ledger defaults to living beside the releases: a daemon durable
-	// enough to re-serve its releases must also remember what they cost,
-	// or a restart would reset sequential composition.
-	if *ledgerDir == "" {
-		*ledgerDir = *storeDir
-	}
-	led, err := ledger.New(ledger.Config{Dir: *ledgerDir, DefaultBudget: *budget})
+	ring, err := cluster.NewRing(nodes, replicas)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if n := len(led.Tenants()); n > 0 {
-		fmt.Printf("priveletd recovered %d tenant budget(s) from %s\n", n, *ledgerDir)
+	health := cluster.NewHealth(nodes, cluster.HealthConfig{Interval: probeEvery})
+	health.Start()
+	defer health.Stop()
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Ring: ring, Health: health, MaxBody: maxBody})
+	if err != nil {
+		log.Fatal(err)
 	}
-	srv := server.New(server.Config{MaxBody: *maxBody, Parallelism: *workers, DefaultMechanism: *mechName, Store: st, Ledger: led})
-	fmt.Printf("priveletd mechanisms: %s (default %s)\n", strings.Join(privelet.Mechanisms(), ", "), *mechName)
+	names := make([]string, 0, len(nodes))
+	for _, n := range ring.Nodes() {
+		names = append(names, n.Name)
+	}
+	fmt.Printf("priveletd routing over %d node(s) [%s], %d-way replication\n",
+		len(nodes), strings.Join(names, ", "), ring.Replication())
+	serve(addr, rt.Handler(), "priveletd router")
+}
+
+func serve(addr string, h http.Handler, what string) {
 	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Addr:              addr,
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("priveletd listening on %s\n", *addr)
+	fmt.Printf("%s listening on %s\n", what, addr)
 	log.Fatal(httpServer.ListenAndServe())
 }

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultProbeInterval is how often the health loop probes each node
+// when HealthConfig.Interval is not set.
+const DefaultProbeInterval = time.Second
+
+// DefaultProbeTimeout bounds one probe request when
+// HealthConfig.Timeout is not set — a node that cannot answer /readyz
+// in two seconds is not a node the proxy should wait on either.
+const DefaultProbeTimeout = 2 * time.Second
+
+// DefaultFailureThreshold is the run of consecutive probe failures
+// that ejects a node when HealthConfig.Threshold is not set. Three
+// strikes tolerates one dropped probe or GC pause without flapping the
+// node out of the ring.
+const DefaultFailureThreshold = 3
+
+// HealthConfig configures a Health prober.
+type HealthConfig struct {
+	// Interval between probe rounds; ≤ 0 means DefaultProbeInterval.
+	Interval time.Duration
+	// Timeout for one probe request; ≤ 0 means DefaultProbeTimeout.
+	Timeout time.Duration
+	// Threshold is the consecutive-probe-failure count that ejects a
+	// node; ≤ 0 means DefaultFailureThreshold. A single successful
+	// probe re-admits it regardless of the threshold.
+	Threshold int
+	// Client issues the probes; nil means a dedicated client with the
+	// probe timeout.
+	Client *http.Client
+}
+
+// NodeHealth is one node's health snapshot.
+type NodeHealth struct {
+	Name string `json:"name"`
+	// Healthy reports whether the proxy currently routes to the node.
+	Healthy bool `json:"healthy"`
+	// Fails is the current run of consecutive probe failures.
+	Fails int `json:"consecutive_failures"`
+	// LastErr is the most recent probe failure, empty after a success.
+	LastErr string `json:"last_error,omitempty"`
+}
+
+// Health tracks per-node liveness for the router: a probe loop GETs
+// each node's /readyz on an interval, a run of Threshold consecutive
+// failures ejects the node, and one successful probe re-admits it. The
+// proxy additionally reports transport-level failures it hits on real
+// traffic (ReportFailure), which eject the node immediately — waiting
+// for three probe ticks while every request to a dead peer times out
+// would be strictly worse — and the probe loop is then the re-admission
+// path. All methods are safe for concurrent use.
+type Health struct {
+	cfg    HealthConfig
+	client *http.Client
+
+	mu     sync.Mutex
+	states map[string]*nodeState
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+type nodeState struct {
+	node    Node
+	healthy bool
+	fails   int
+	lastErr string
+}
+
+// NewHealth builds a prober over nodes. Every node starts healthy —
+// the first probe round (run synchronously by Start) corrects that
+// before any traffic is routed.
+func NewHealth(nodes []Node, cfg HealthConfig) *Health {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultProbeInterval
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultProbeTimeout
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = DefaultFailureThreshold
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	h := &Health{cfg: cfg, client: client, states: make(map[string]*nodeState, len(nodes))}
+	for _, n := range nodes {
+		h.states[n.Name] = &nodeState{node: n, healthy: true}
+	}
+	return h
+}
+
+// Start runs one synchronous probe round — so the caller begins with a
+// measured view, not the optimistic default — then launches the
+// background loop. Stop ends it.
+func (h *Health) Start() {
+	h.probeAll()
+	h.mu.Lock()
+	if h.stop != nil {
+		h.mu.Unlock()
+		return
+	}
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	stop, done := h.stop, h.done
+	h.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(h.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				h.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit. Safe to call
+// without Start, or twice.
+func (h *Health) Stop() {
+	h.mu.Lock()
+	stop, done := h.stop, h.done
+	h.stop, h.done = nil, nil
+	h.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// probeAll probes every node once, concurrently, and blocks until the
+// round completes.
+func (h *Health) probeAll() {
+	h.mu.Lock()
+	nodes := make([]Node, 0, len(h.states))
+	for _, st := range h.states {
+		nodes = append(nodes, st.node)
+	}
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n Node) {
+			defer wg.Done()
+			h.record(n.Name, h.probe(n))
+		}(n)
+	}
+	wg.Wait()
+}
+
+// probe issues one readiness check; any non-2xx status or transport
+// error is a failure (a recovering node 503s /readyz on purpose — it
+// must not receive traffic yet).
+func (h *Health) probe(n Node) error {
+	resp, err := h.client.Get(n.URL + "/readyz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("readyz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// record applies one probe result: success re-admits immediately,
+// failures eject after the configured consecutive run.
+func (h *Health) record(name string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.states[name]
+	if st == nil {
+		return
+	}
+	if err == nil {
+		st.healthy, st.fails, st.lastErr = true, 0, ""
+		return
+	}
+	st.fails++
+	st.lastErr = err.Error()
+	if st.fails >= h.cfg.Threshold {
+		st.healthy = false
+	}
+}
+
+// Healthy reports whether the node is currently routable. Unknown
+// names are unhealthy.
+func (h *Health) Healthy(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.states[name]
+	return st != nil && st.healthy
+}
+
+// ReportFailure is the proxy's passive detection path: a transport-
+// level failure on real traffic ejects the node immediately (the probe
+// loop re-admits it once /readyz answers again). HTTP-level errors are
+// not reported here — a node healthy enough to produce a status line
+// is healthy enough to keep probing on schedule.
+func (h *Health) ReportFailure(name string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.states[name]
+	if st == nil {
+		return
+	}
+	st.fails++
+	st.healthy = false
+	if err != nil {
+		st.lastErr = err.Error()
+	}
+}
+
+// Snapshot returns every node's current health, sorted by name.
+func (h *Health) Snapshot() []NodeHealth {
+	h.mu.Lock()
+	out := make([]NodeHealth, 0, len(h.states))
+	for _, st := range h.states {
+		out = append(out, NodeHealth{Name: st.node.Name, Healthy: st.healthy, Fails: st.fails, LastErr: st.lastErr})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,207 @@
+package server
+
+// Tests for the node-side cluster surface: liveness/readiness probes,
+// the replication ingest endpoint, the router-minted ?id= publish
+// parameter, and node identity on /stats.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterHealthEndpoints: /healthz is bare liveness; /readyz on a
+// constructed server reports ready with the node's name and release
+// count (the not-ready window is the daemon's boot handler, exercised
+// in cmd/priveletd's walkthrough).
+func TestClusterHealthEndpoints(t *testing.T) {
+	ts := httptest.NewServer(New(Config{NodeName: "probe-me"}).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", resp.StatusCode)
+	}
+	var ready struct {
+		Status   string `json:"status"`
+		Node     string `json:"node"`
+		Releases int    `json:"releases"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "ready" || ready.Node != "probe-me" {
+		t.Fatalf("/readyz body = %+v", ready)
+	}
+}
+
+// TestClusterReplicateEndpoint: PUT /internal/replicate/{id} ingests an
+// exported release byte stream; the copy answers identically, a replay
+// is the idempotent 200, and garbage is a 400 that leaves no release.
+func TestClusterReplicateEndpoint(t *testing.T) {
+	src := startServer(t)
+	sum := publish(t, src, "schema="+testSchema+"&epsilon=1&seed=11", testCSV)
+	resp, err := http.Get(src.URL + "/releases/" + sum.ID + "/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: status %d err %v", resp.StatusCode, err)
+	}
+
+	dst := startServer(t)
+	put := func(id string, body []byte) (int, string) {
+		req, err := http.NewRequest(http.MethodPut, dst.URL+"/internal/replicate/"+id, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Status string `json:"status"`
+		}
+		b, _ := io.ReadAll(resp.Body)
+		json.Unmarshal(b, &out)
+		return resp.StatusCode, out.Status
+	}
+
+	if code, status := put(sum.ID, raw); code != http.StatusCreated || status != "replicated" {
+		t.Fatalf("replicate = %d/%q, want 201/replicated", code, status)
+	}
+	// The copy answers the same count the original does.
+	for _, q := range []string{"Age=0..3", "Age=0..7", "Occ=%231"} {
+		a, b := countQuery(t, src, sum.ID, q), countQuery(t, dst, sum.ID, q)
+		if a != b {
+			t.Fatalf("count(%s): original %v, replica %v", q, a, b)
+		}
+	}
+	// Replayed replication is idempotent, not an error.
+	if code, status := put(sum.ID, raw); code != http.StatusOK || status != "already_present" {
+		t.Fatalf("replay = %d/%q, want 200/already_present", code, status)
+	}
+	// Garbage bytes: 400, and no phantom release appears.
+	if code, _ := put("ghost", []byte("junk")); code != http.StatusBadRequest {
+		t.Fatalf("garbage replicate = %d, want 400", code)
+	}
+	if resp, err := http.Get(dst.URL + "/releases/ghost"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("ghost release exists after failed replicate: %d", resp.StatusCode)
+		}
+	}
+	// Invalid target IDs are rejected up front.
+	if code, _ := put("bad%2Fid%2F", raw); code != http.StatusBadRequest {
+		t.Fatalf("bad id replicate = %d, want 400", code)
+	}
+}
+
+// TestClusterPublishClientID: ?id= lets a router pre-place a release
+// under the ID it hashed; tenant-style IDs and collisions are refused.
+func TestClusterPublishClientID(t *testing.T) {
+	ts := startServer(t)
+	post := func(id string) (int, summary) {
+		resp, err := http.Post(ts.URL+"/publish?id="+id+"&schema="+testSchema+"&epsilon=1&seed=9",
+			"text/csv", strings.NewReader(testCSV))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sum summary
+		json.NewDecoder(resp.Body).Decode(&sum)
+		return resp.StatusCode, sum
+	}
+	code, sum := post("xabc123")
+	if code != http.StatusCreated || sum.ID != "xabc123" {
+		t.Fatalf("client-ID publish = %d id=%q, want 201/xabc123", code, sum.ID)
+	}
+	countQuery(t, ts, "xabc123", "Age=0..7") // servable under the client's ID
+	// The same ID again is a conflict — release IDs are immutable names.
+	if code, _ := post("xabc123"); code != http.StatusConflict {
+		t.Fatalf("duplicate client ID = %d, want 409", code)
+	}
+	// Tenant-namespace IDs only come from the ledger-gated endpoint.
+	if code, _ := post("alice%2F1"); code != http.StatusBadRequest {
+		t.Fatalf("tenant-shaped client ID = %d, want 400", code)
+	}
+	// Plain publishes without ?id= still mint server-side rN IDs.
+	sum2 := publish(t, ts, "schema="+testSchema+"&epsilon=1&seed=10", testCSV)
+	if !strings.HasPrefix(sum2.ID, "r") {
+		t.Fatalf("minted ID = %q, want r-prefixed", sum2.ID)
+	}
+}
+
+// TestClusterStatsNodeIdentity: /stats carries the node's stable
+// identity — name, RFC3339 start time, uptime, version — so cluster
+// /stats aggregation can label fleets.
+func TestClusterStatsNodeIdentity(t *testing.T) {
+	ts := httptest.NewServer(New(Config{NodeName: "stats-node"}).Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Node struct {
+			Name      string  `json:"name"`
+			StartTime string  `json:"start_time"`
+			UptimeSec float64 `json:"uptime_seconds"`
+			Version   string  `json:"version"`
+		} `json:"node"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Node.Name != "stats-node" {
+		t.Fatalf("node name = %q, want stats-node", stats.Node.Name)
+	}
+	if _, err := time.Parse(time.RFC3339, stats.Node.StartTime); err != nil {
+		t.Fatalf("start_time %q is not RFC3339: %v", stats.Node.StartTime, err)
+	}
+	if stats.Node.UptimeSec < 0 || stats.Node.Version == "" {
+		t.Fatalf("identity incomplete: %+v", stats.Node)
+	}
+	// An anonymous config still has an identity (hostname fallback).
+	ts2 := startServer(t)
+	resp2, err := http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var stats2 struct {
+		Node struct {
+			Name string `json:"name"`
+		} `json:"node"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&stats2); err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Node.Name == "" {
+		t.Fatal("anonymous node has no identity")
+	}
+}

@@ -48,6 +48,17 @@
 //	GET    /stats                                 → store accounting (evictions, reloads,
 //	                                                answer-cache hits/misses, ...) plus
 //	                                                ledger counters (charges/refunds/refusals)
+//	                                                and the node identity (name, start time,
+//	                                                version) cluster aggregation keys on
+//	GET    /healthz                               → liveness (process up)
+//	GET    /readyz                                → readiness (store recovered, ledger loaded);
+//	                                                the cluster tier's probe target
+//	PUT    /internal/replicate/{id}               → replica ingest: body is an encoded release
+//	                                                (the /export bytes); 200 if already present
+//
+// A publish may carry a caller-chosen single-segment ID (?id=...) — the
+// cluster router uses this, since consistent-hash placement needs the
+// ID before a node is picked; a taken ID is a 409.
 //
 // Query syntax (the q parameter and each workload spec; internal/query's
 // Parse grammar): comma-separated predicates,
@@ -78,10 +89,13 @@ import (
 	"math"
 	"net/http"
 	"net/url"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	privelet "repro"
 	"repro/internal/cli"
@@ -120,6 +134,10 @@ type Config struct {
 	// built when Ledger is nil; ≤ 0 means unlimited (spend is tracked,
 	// never refused). Ignored when Ledger is set.
 	Budget float64
+	// NodeName identifies this daemon in a cluster: it is stamped on
+	// /stats (so aggregated fleet stats are attributable per node) and
+	// echoed by /readyz. Empty means the OS hostname.
+	NodeName string
 }
 
 // Server is an HTTP front end over a release store. The zero value is
@@ -130,6 +148,11 @@ type Server struct {
 	maxBody     int64
 	parallelism int
 	defaultMech string
+	// nodeName/started/version identify this daemon instance on /stats
+	// and /readyz — the attribution a cluster's aggregated stats need.
+	nodeName string
+	started  time.Time
+	version  string
 	// nextID mints release IDs; seeded past any IDs recovered from the
 	// store's spill directory so a restarted daemon never collides.
 	nextID atomic.Int64
@@ -166,7 +189,15 @@ func New(cfg Config) *Server {
 			panic(fmt.Sprintf("server: bad Config.Budget: %v", err))
 		}
 	}
-	s := &Server{store: st, ledger: led, maxBody: cfg.MaxBody, parallelism: cfg.Parallelism, defaultMech: cfg.DefaultMechanism}
+	name := cfg.NodeName
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	s := &Server{
+		store: st, ledger: led, maxBody: cfg.MaxBody, parallelism: cfg.Parallelism,
+		defaultMech: cfg.DefaultMechanism,
+		nodeName:    name, started: time.Now(), version: buildVersion(),
+	}
 	for _, stub := range st.List() {
 		if n, ok := parseReleaseID(stub.ID); ok && n > s.nextID.Load() {
 			s.nextID.Store(n)
@@ -201,7 +232,67 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /releases/{id}/export", s.handleExport)
 	mux.HandleFunc("GET /mechanisms", s.handleMechanisms)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("PUT /internal/replicate/{id}", s.handleReplicate)
 	return mux
+}
+
+// handleHealthz is pure liveness: the process is up and the handler
+// runs. Orchestrators restart on its failure; routing decisions use
+// /readyz instead.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: the store has recovered and the ledger is
+// loaded, so every recovered release and budget is servable. By the
+// time this handler is reachable, construction has completed both —
+// cmd/priveletd answers 503 with a reason from its boot handler until
+// then, which is the window cluster health probes are meant to catch.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ready",
+		"node":     s.nodeName,
+		"releases": s.store.Len(),
+	})
+}
+
+// handleReplicate is the cluster tier's replica-ingest endpoint: the
+// body is an encoded release (the codec wire format — the same bytes
+// /export emits), stored verbatim under {id} through the store's
+// decode→rebuild path. Re-pushing an existing ID answers 200 instead
+// of 201: releases are immutable, so the copy is already identical and
+// replication stays idempotent. The endpoint is /internal/ because it
+// trusts its caller (the router) on placement — expose it only on
+// networks where the routing tier lives.
+func (s *Server) handleReplicate(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if err := store.ValidateID(id); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	err := s.store.Ingest(id, http.MaxBytesReader(w, req.Body, s.maxBody), s.parallelism)
+	switch {
+	case errors.Is(err, store.ErrDuplicate):
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "already_present"})
+	case err != nil:
+		// A decode failure is the pusher's fault (truncated or corrupt
+		// payload), not ours.
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusCreated, map[string]string{"id": id, "status": "replicated"})
+	}
+}
+
+// buildVersion reports the module version stamped into the binary, or
+// "devel" for local builds — enough to tell a mixed-version fleet
+// apart on aggregated stats.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
 }
 
 // summary is the JSON view of a release.
@@ -362,6 +453,21 @@ func payloadSummary(id string, p *codec.Payload, workers int) summary {
 }
 
 func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
+	// A caller-chosen ID (the cluster router mints IDs up front, because
+	// consistent-hash placement needs the ID before a node is picked)
+	// must be a plain single-segment ID: the two-segment "<tenant>/..."
+	// space belongs to the ledger-gated endpoint, which prices it.
+	id := req.URL.Query().Get("id")
+	if id != "" {
+		if strings.Contains(id, "/") {
+			httpError(w, http.StatusBadRequest, "client-chosen release ids must not contain '/' (tenant releases go through /tenants/{tenant}/publish)")
+			return
+		}
+		if err := store.ValidateID(id); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	spec, ok := s.parsePublish(w, req)
 	if !ok {
 		return
@@ -370,8 +476,15 @@ func (s *Server) handlePublish(w http.ResponseWriter, req *http.Request) {
 	if !ok {
 		return
 	}
-	id := fmt.Sprintf("r%d", s.nextID.Add(1))
-	if err := s.store.Put(id, payload, spec.params.Parallelism); err != nil {
+	if id == "" {
+		id = fmt.Sprintf("r%d", s.nextID.Add(1))
+	}
+	err := s.store.Put(id, payload, spec.params.Parallelism)
+	switch {
+	case errors.Is(err, store.ErrDuplicate):
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	case err != nil:
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -778,14 +891,30 @@ func (s *Server) handleExport(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// nodeIdentity attributes a /stats snapshot to the daemon that
+// produced it — the field a cluster's aggregated fleet view keys on.
+type nodeIdentity struct {
+	Name      string  `json:"name"`
+	StartTime string  `json:"start_time"`
+	UptimeSec float64 `json:"uptime_seconds"`
+	Version   string  `json:"version"`
+}
+
 // handleStats reports store accounting with the ledger's counters
-// nested under "ledger"; the store fields stay at the top level, so
-// pre-ledger clients decoding into store.Stats keep working.
+// nested under "ledger" and the node's identity under "node"; the
+// store fields stay at the top level, so pre-ledger clients decoding
+// into store.Stats keep working.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		store.Stats
 		Ledger ledger.Stats `json:"ledger"`
-	}{s.store.Stats(), s.ledger.Stats()})
+		Node   nodeIdentity `json:"node"`
+	}{s.store.Stats(), s.ledger.Stats(), nodeIdentity{
+		Name:      s.nodeName,
+		StartTime: s.started.UTC().Format(time.RFC3339),
+		UptimeSec: time.Since(s.started).Seconds(),
+		Version:   s.version,
+	}})
 }
 
 // ParseQuery parses the q= syntax. It is a thin alias kept for

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/codec"
@@ -23,4 +24,23 @@ func EncodeRelease(w io.Writer, p *codec.Payload) error {
 // EncodeRelease (or any other producer of the shared format).
 func DecodeRelease(r io.Reader) (*codec.Payload, error) {
 	return codec.Decode(r)
+}
+
+// Ingest is the replica-ingest entry point: it decodes an encoded
+// release from r and stores it under id, riding the same decode →
+// evaluator-rebuild path a restart or a spilled-release reload uses —
+// so a replica pushed over the wire answers every query bit-identically
+// to the node that published it. workers bounds the evaluator rebuild
+// like Config.Parallelism does for reloads. A taken ID returns an error
+// wrapping ErrDuplicate (releases are immutable, so re-pushing an
+// existing replica is a no-op the caller may treat as success).
+func (s *Store) Ingest(id string, r io.Reader, workers int) error {
+	if err := validateID(id); err != nil {
+		return err
+	}
+	p, err := DecodeRelease(r)
+	if err != nil {
+		return fmt.Errorf("store: ingesting %q: %w", id, err)
+	}
+	return s.Put(id, p, workers)
 }

@@ -70,6 +70,13 @@ const spillExt = ".prvl"
 // has the given ID. Callers should test with errors.Is.
 var ErrNotFound = errors.New("store: release not found")
 
+// ErrDuplicate is returned (wrapped) by Put and Ingest when the ID is
+// already taken. Callers should test with errors.Is — the replication
+// path treats it as success (releases are immutable, so an ID that
+// exists already holds the same bytes), while a publish treats it as a
+// caller bug.
+var ErrDuplicate = errors.New("store: duplicate release")
+
 // Config configures a Store.
 type Config struct {
 	// Shards is the number of lock stripes; ≤ 0 means DefaultShards.
@@ -320,7 +327,7 @@ func (s *Store) Put(id string, p *codec.Payload, workers int) error {
 	sh.mu.Lock()
 	if _, dup := sh.entries[id]; dup {
 		sh.mu.Unlock()
-		return fmt.Errorf("store: duplicate release %q", id)
+		return fmt.Errorf("store: release %q: %w", id, ErrDuplicate)
 	}
 	sh.entries[id] = e
 	// Holding ioMu across the write-through lets Remove wait for the
@@ -681,6 +688,11 @@ func makeStub(id string, p *codec.Payload, workers int) Stub {
 		Workers: workers,
 	}
 }
+
+// ValidateID reports whether id is a storable release ID (see
+// validateID for the grammar) — exported so the serving layer can
+// refuse a client-chosen or replicated ID before any work is done.
+func ValidateID(id string) error { return validateID(id) }
 
 // validateID keeps IDs safe to embed in spill filenames: one or two
 // '/'-separated segments (the two-segment form is the continual-
