@@ -39,14 +39,18 @@
 // # Cluster mode
 //
 // Several daemons form a cluster behind one router process (see
-// internal/cluster). Start each node with a stable -node-name, then a
-// router with -route over the full peer list:
+// internal/cluster). Start each node with a stable -node-name and the
+// full peer list (so it can run anti-entropy repair), then a router
+// with -route over the same list:
 //
-//	priveletd -addr :8081 -node-name n1 -store-dir /var/lib/p1 &
-//	priveletd -addr :8082 -node-name n2 -store-dir /var/lib/p2 &
-//	priveletd -addr :8083 -node-name n3 -store-dir /var/lib/p3 &
-//	priveletd -route -addr :8080 -replicas 2 \
-//	  -peers n1=http://localhost:8081,n2=http://localhost:8082,n3=http://localhost:8083
+//	PEERS=n1=http://localhost:8081,n2=http://localhost:8082,n3=http://localhost:8083
+//	priveletd -addr :8081 -node-name n1 -store-dir /var/lib/p1 \
+//	  -peers $PEERS -replicas 2 -cluster-secret $SECRET &
+//	priveletd -addr :8082 -node-name n2 -store-dir /var/lib/p2 \
+//	  -peers $PEERS -replicas 2 -cluster-secret $SECRET &
+//	priveletd -addr :8083 -node-name n3 -store-dir /var/lib/p3 \
+//	  -peers $PEERS -replicas 2 -cluster-secret $SECRET &
+//	priveletd -route -addr :8080 -replicas 2 -peers $PEERS -cluster-secret $SECRET
 //
 // The router mirrors the node API: publishes consistent-hash onto a
 // primary and replicate synchronously, reads fan out to any healthy
@@ -55,6 +59,19 @@
 // probe target) returns 503 with a reason until the store and ledger
 // have finished recovering — a restarting node rejoins the ring only
 // once every recovered release is servable.
+//
+// With -peers set, each node also runs the anti-entropy repairer
+// (internal/cluster.Repairer): every -repair-interval it diffs actual
+// release placement against the ring and re-ships missing copies,
+// pulls copies it should hold, and finishes DELETEs that replicas
+// slept through (durable tombstones make deletes win over stale
+// copies). POST /internal/repair triggers one sweep on demand and
+// returns its report. -cluster-secret locks every /internal/* endpoint
+// behind a shared bearer token, and -ring-version lets membership roll
+// through the fleet one process at a time: bump it everywhere when the
+// peer list changes, and internal calls from peers still on the old
+// list are refused with a typed 409 instead of writing to stale
+// placement.
 //
 // Releases live in a sharded store (internal/store). With -store-dir set
 // every release is also written through to disk, so the daemon survives
@@ -74,6 +91,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -104,14 +122,17 @@ func main() {
 		ledgerDir   = flag.String("ledger-dir", "", "directory for durable budget balances (default: -store-dir, so refusals survive restarts whenever releases do)")
 		nodeName    = flag.String("node-name", "", "stable cluster identity of this node, stamped on /stats (empty = hostname); placement hashes it, so renaming a node moves its data")
 		route       = flag.Bool("route", false, "run as the cluster routing tier over -peers instead of serving releases")
-		peers       = flag.String("peers", "", "comma-separated cluster peer list, name=url each (route mode)")
-		replicas    = flag.Int("replicas", 2, "copies of each release across the ring (route mode; clamped to the peer count)")
+		peers       = flag.String("peers", "", "comma-separated cluster peer list, name=url each (route mode routes over it; node mode uses it to run anti-entropy repair)")
+		replicas    = flag.Int("replicas", 2, "copies of each release across the ring (clamped to the peer count)")
 		probeEvery  = flag.Duration("probe-interval", cluster.DefaultProbeInterval, "health-probe interval for the ring's nodes (route mode)")
+		secret      = flag.String("cluster-secret", "", "shared bearer token for /internal/* calls: nodes require it, routers and repair sweeps send it (empty = unauthenticated)")
+		ringVersion = flag.Uint64("ring-version", 0, "membership version of -peers; bump it on every peer-list change — internal calls from peers still on an older version are refused with a typed 409")
+		repairEvery = flag.Duration("repair-interval", cluster.DefaultRepairInterval, "anti-entropy sweep interval (node mode with -peers; 0 disables the background loop, POST /internal/repair still works)")
 	)
 	flag.Parse()
 
 	if *route {
-		runRouter(*addr, *peers, *replicas, *maxBody, *probeEvery)
+		runRouter(*addr, *peers, *replicas, *maxBody, *probeEvery, *secret, *ringVersion)
 		return
 	}
 
@@ -148,7 +169,26 @@ func main() {
 		if n := len(led.Tenants()); n > 0 {
 			fmt.Printf("priveletd recovered %d tenant budget(s) from %s\n", n, *ledgerDir)
 		}
-		srv := server.New(server.Config{MaxBody: *maxBody, Parallelism: *workers, DefaultMechanism: *mechName, Store: st, Ledger: led, NodeName: *nodeName})
+		// With a peer list, the node knows the ring and runs its own
+		// anti-entropy repairer: a background sweep (plus the on-demand
+		// POST /internal/repair) that re-ships missing replica copies and
+		// finishes deletes peers slept through. Repair starts only after
+		// recovery — a restarting node serves its own state before it
+		// starts shipping files.
+		clusterCfg := server.ClusterConfig{Secret: *secret, RingVersion: *ringVersion}
+		if *peers != "" {
+			rep, err := nodeRepairer(*peers, *replicas, *ringVersion, *nodeName, *secret, *repairEvery, st)
+			if err != nil {
+				log.Fatal(err)
+			}
+			clusterCfg.Repair = func(ctx context.Context) (any, error) { return rep.Sweep(ctx) }
+			clusterCfg.RepairStats = func() any { return rep.Stats() }
+			if *repairEvery > 0 {
+				rep.Start()
+				fmt.Printf("priveletd anti-entropy sweep every %s\n", *repairEvery)
+			}
+		}
+		srv := server.New(server.Config{MaxBody: *maxBody, Parallelism: *workers, DefaultMechanism: *mechName, Store: st, Ledger: led, NodeName: *nodeName, Cluster: clusterCfg})
 		handler.Store(srv.Handler())
 		fmt.Printf("priveletd ready; mechanisms: %s (default %s)\n", strings.Join(privelet.Mechanisms(), ", "), *mechName)
 	}()
@@ -172,22 +212,44 @@ func bootHandler(reason string) http.Handler {
 	return mux
 }
 
+// nodeRepairer builds this node's anti-entropy repairer from the same
+// -peers/-replicas/-ring-version spelling the router uses, so one
+// deployment config describes both tiers. The node must appear in its
+// own peer list under its -node-name.
+func nodeRepairer(peerSpec string, replicas int, version uint64, self, secret string, interval time.Duration, st *store.Store) (*cluster.Repairer, error) {
+	nodes, err := cluster.ParsePeers(peerSpec)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := cluster.NewVersionedRing(nodes, replicas, version)
+	if err != nil {
+		return nil, err
+	}
+	if !ring.Contains(self) {
+		return nil, fmt.Errorf("-peers does not list this node: set -node-name to one of the peer names (got %q)", self)
+	}
+	return cluster.NewRepairer(cluster.RepairConfig{
+		Self: self, Ring: ring, Store: st,
+		Interval: interval, Secret: secret,
+	})
+}
+
 // runRouter runs the cluster routing tier: a static consistent-hash
 // ring over -peers with health-probed read fan-out and synchronous
 // publish replication (see internal/cluster).
-func runRouter(addr, peerSpec string, replicas int, maxBody int64, probeEvery time.Duration) {
+func runRouter(addr, peerSpec string, replicas int, maxBody int64, probeEvery time.Duration, secret string, ringVersion uint64) {
 	nodes, err := cluster.ParsePeers(peerSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ring, err := cluster.NewRing(nodes, replicas)
+	ring, err := cluster.NewVersionedRing(nodes, replicas, ringVersion)
 	if err != nil {
 		log.Fatal(err)
 	}
 	health := cluster.NewHealth(nodes, cluster.HealthConfig{Interval: probeEvery})
 	health.Start()
 	defer health.Stop()
-	rt, err := cluster.NewRouter(cluster.RouterConfig{Ring: ring, Health: health, MaxBody: maxBody})
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Ring: ring, Health: health, MaxBody: maxBody, Secret: secret})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -195,8 +257,8 @@ func runRouter(addr, peerSpec string, replicas int, maxBody int64, probeEvery ti
 	for _, n := range ring.Nodes() {
 		names = append(names, n.Name)
 	}
-	fmt.Printf("priveletd routing over %d node(s) [%s], %d-way replication\n",
-		len(nodes), strings.Join(names, ", "), ring.Replication())
+	fmt.Printf("priveletd routing over %d node(s) [%s], %d-way replication, ring version %d\n",
+		len(nodes), strings.Join(names, ", "), ring.Replication(), ring.Version())
 	serve(addr, rt.Handler(), "priveletd router")
 }
 

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestRepairerConfigValidation(t *testing.T) {
+	nodes := []Node{{Name: "a", URL: "http://a"}, {Name: "b", URL: "http://b"}}
+	ring, err := NewRing(nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.New(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRepairer(RepairConfig{Self: "a", Store: st}); err == nil {
+		t.Fatal("repairer accepted a nil ring")
+	}
+	if _, err := NewRepairer(RepairConfig{Self: "a", Ring: ring}); err == nil {
+		t.Fatal("repairer accepted a nil store")
+	}
+	if _, err := NewRepairer(RepairConfig{Self: "ghost", Ring: ring, Store: st}); err == nil || !strings.Contains(err.Error(), "not in the ring") {
+		t.Fatalf("repairer accepted a non-member self: %v", err)
+	}
+	rep, err := NewRepairer(RepairConfig{Self: "a", Ring: ring, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.cfg.Interval != DefaultRepairInterval {
+		t.Fatalf("default interval = %v, want %v", rep.cfg.Interval, DefaultRepairInterval)
+	}
+	// Stop without Start is a no-op, twice.
+	rep.Stop()
+	rep.Stop()
+	if st := rep.Stats(); st.Sweeps != 0 || st.LastSweep != "" {
+		t.Fatalf("fresh repairer stats = %+v", st)
+	}
+}
+
+func TestRepairRingVersioning(t *testing.T) {
+	nodes := []Node{{Name: "a", URL: "http://a"}, {Name: "b", URL: "http://b"}}
+	r0, err := NewRing(nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Version() != 0 {
+		t.Fatalf("NewRing version = %d, want 0", r0.Version())
+	}
+	r7, err := NewVersionedRing(nodes, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r7.Version() != 7 {
+		t.Fatalf("versioned ring reports %d, want 7", r7.Version())
+	}
+	// Placement is independent of the version: the version gates stale
+	// senders, it does not move data.
+	for _, key := range []string{"alice", "bob", "r1", "x00ff"} {
+		p0, p7 := r0.ReplicasFor(key), r7.ReplicasFor(key)
+		for i := range p0 {
+			if p0[i].Name != p7[i].Name {
+				t.Fatalf("placement of %q differs across versions: %v vs %v", key, p0, p7)
+			}
+		}
+	}
+	if !r7.Contains("a") || !r7.Contains("b") || r7.Contains("c") {
+		t.Fatal("Contains misreports membership")
+	}
+}

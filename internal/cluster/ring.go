@@ -76,12 +76,25 @@ type Ring struct {
 	nodes    []Node
 	points   []point
 	replicas int
+	version  uint64
 }
 
-// NewRing builds a ring over nodes with R-way replication. The
-// replication factor is clamped to the node count; nodes must have
-// non-empty, unique names and non-empty URLs.
+// NewRing builds a ring over nodes with R-way replication at ring
+// version 0 (an unversioned deployment). The replication factor is
+// clamped to the node count; nodes must have non-empty, unique names
+// and non-empty URLs.
 func NewRing(nodes []Node, replicas int) (*Ring, error) {
+	return NewVersionedRing(nodes, replicas, 0)
+}
+
+// NewVersionedRing builds a ring stamped with a membership version. The
+// version is the operator's monotonic counter over peer-list changes:
+// every internal call (replication pushes, repair triggers) carries the
+// sender's version, and a node whose own ring is newer refuses stale
+// senders — so membership can roll through a fleet one process at a
+// time, with misrouted writes from not-yet-restarted routers turned
+// into typed errors instead of silently wrong placement.
+func NewVersionedRing(nodes []Node, replicas int, version uint64) (*Ring, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("cluster: ring needs at least one node")
 	}
@@ -105,7 +118,7 @@ func NewRing(nodes []Node, replicas int) (*Ring, error) {
 		}
 		seen[n.Name] = true
 	}
-	r := &Ring{nodes: sorted, replicas: replicas, points: make([]point, 0, len(sorted)*vnodes)}
+	r := &Ring{nodes: sorted, replicas: replicas, version: version, points: make([]point, 0, len(sorted)*vnodes)}
 	for i, n := range sorted {
 		for v := 0; v < vnodes; v++ {
 			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n.Name, v)), node: i})
@@ -125,6 +138,20 @@ func (r *Ring) Nodes() []Node {
 // Replication returns the effective replication factor (after clamping
 // to the node count).
 func (r *Ring) Replication() int { return r.replicas }
+
+// Version returns the ring's membership version (0 for an unversioned
+// deployment).
+func (r *Ring) Version() uint64 { return r.version }
+
+// Contains reports whether name is one of the ring's nodes.
+func (r *Ring) Contains(name string) bool {
+	for _, n := range r.nodes {
+		if n.Name == name {
+			return true
+		}
+	}
+	return false
+}
 
 // RouteKey maps a release ID to its placement key: tenant-scoped IDs
 // ("<tenant>/<epoch>") route by the tenant prefix, so every epoch of a

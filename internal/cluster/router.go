@@ -39,6 +39,11 @@ type RouterConfig struct {
 	// responses of unbounded duration; per-connection failures are
 	// handled by retry, not deadline).
 	Client *http.Client
+	// Secret is the cluster's shared bearer token: the router sends it
+	// on every internal call (replication pushes), and nodes configured
+	// with the same secret refuse internal calls without it. Empty
+	// disables the header (for unauthenticated deployments).
+	Secret string
 }
 
 // RouterStats is the router's own accounting, nested under "router" in
@@ -70,6 +75,7 @@ type Router struct {
 	health  *Health
 	client  *http.Client
 	maxBody int64
+	secret  string
 	// rr rotates the first replica tried per read, spreading load over
 	// the replica set instead of hammering every key's primary.
 	rr atomic.Uint64
@@ -93,7 +99,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &Router{ring: cfg.Ring, health: cfg.Health, client: client, maxBody: cfg.MaxBody}, nil
+	return &Router{ring: cfg.Ring, health: cfg.Health, client: client, maxBody: cfg.MaxBody, secret: cfg.Secret}, nil
 }
 
 // Stats returns the router's own counters.
@@ -516,13 +522,20 @@ func (rt *Router) export(ctx context.Context, n Node, id string) ([]byte, error)
 	return io.ReadAll(io.LimitReader(resp.Body, rt.maxBody))
 }
 
-// push streams an encoded release into one follower's store.
+// push streams an encoded release into one follower's store,
+// authenticated with the cluster secret and stamped with the ring
+// version so a node running a newer membership refuses the copy
+// instead of accepting stale placement.
 func (rt *Router) push(ctx context.Context, n Node, id string, payload []byte) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, n.URL+"/internal/replicate/"+url.PathEscape(id), bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if rt.secret != "" {
+		req.Header.Set("Authorization", "Bearer "+rt.secret)
+	}
+	req.Header.Set(RingVersionHeader, fmt.Sprintf("%d", rt.ring.Version()))
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return err
@@ -547,23 +560,26 @@ func (rt *Router) handleTenantBudget(w http.ResponseWriter, req *http.Request) {
 	rt.proxyReadNodes(w, req, []Node{primary})
 }
 
-// handleDelete withdraws a release from every replica holding it. 204
-// when at least one copy was deleted (a replica that was down keeps
-// its copy and resurrects it on recovery — rerun the DELETE then; the
-// response lists the nodes that confirmed), 404 when every reachable
-// replica denies the release, typed 503 when none was reachable.
+// handleDelete withdraws a release from every replica of its key — the
+// full intended replica set from the ring, not just the currently
+// healthy members, because a replica the health prober has ejected may
+// still hold a copy. The response reports a per-replica outcome
+// ("deleted", "missing", "unreachable", or "error: ...") plus
+// "repair_pending": whether any replica could not confirm, in which
+// case the node-side anti-entropy sweep finishes the job — the nodes
+// that did delete hold tombstones, and the next sweep withdraws the
+// copy from the replica that slept through the DELETE. 200 when at
+// least one copy was deleted, 404 when every reachable replica denies
+// the release, typed 503 when none was reachable.
 func (rt *Router) handleDelete(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	key := RouteKey(id)
-	candidates := rt.healthyReplicas(key)
-	if len(candidates) == 0 {
-		rt.noHealthyReplica(w, key)
-		return
-	}
-	deleted := make([]string, 0, len(candidates))
+	replicas := rt.ring.ReplicasFor(key)
+	deleted := make([]string, 0, len(replicas))
+	outcomes := make(map[string]string, len(replicas))
 	missing := 0
 	var lastErr string
-	for _, n := range candidates {
+	for _, n := range replicas {
 		resp, err := rt.forward(req.Context(), n, req, nil)
 		if err != nil {
 			if req.Context().Err() != nil {
@@ -571,21 +587,30 @@ func (rt *Router) handleDelete(w http.ResponseWriter, req *http.Request) {
 			}
 			rt.health.ReportFailure(n.Name, err)
 			lastErr = err.Error()
+			outcomes[n.Name] = "unreachable"
 			continue
 		}
 		switch {
 		case resp.StatusCode == http.StatusNoContent:
 			deleted = append(deleted, n.Name)
+			outcomes[n.Name] = "deleted"
 		case resp.StatusCode == http.StatusNotFound:
 			missing++
+			outcomes[n.Name] = "missing"
 		default:
 			lastErr = fmt.Sprintf("%s: status %d", n.Name, resp.StatusCode)
+			outcomes[n.Name] = fmt.Sprintf("error: status %d", resp.StatusCode)
 		}
 		drain(resp)
 	}
 	switch {
 	case len(deleted) > 0:
-		writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted_from": deleted})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":             id,
+			"deleted_from":   deleted,
+			"replicas":       outcomes,
+			"repair_pending": len(deleted)+missing < len(replicas),
+		})
 	case missing > 0:
 		httpError(w, http.StatusNotFound, fmt.Sprintf("no release %q on any replica", id))
 	default:
@@ -676,11 +701,20 @@ func (rt *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 		}
 		perNode[n.Name] = raw
 	}
+	names := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		names = append(names, n.Name)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"nodes":       perNode,
 		"health":      rt.health.Snapshot(),
 		"router":      rt.Stats(),
 		"replication": rt.ring.Replication(),
+		"ring": map[string]any{
+			"version":     rt.ring.Version(),
+			"nodes":       names,
+			"replication": rt.ring.Replication(),
+		},
 	})
 }
 

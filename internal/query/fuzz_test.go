@@ -1,0 +1,69 @@
+package query_test
+
+// Native fuzz targets for the shared query grammar. The parser sits on
+// every untrusted boundary at once — the server's q= parameter, the
+// batch wire format, and cmd/privelet workload files — so it must never
+// panic on hostile text, and every spec it accepts must canonicalize:
+// Spec() is the AnswerCache key, so Parse(Spec(q)) has to reproduce the
+// identical rendering no matter how the client spelled the query. Seed
+// corpus under testdata/fuzz/FuzzQueryParse; CI runs a short -fuzz
+// smoke on top of the checked-in seeds.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/hierarchy"
+	"repro/internal/query"
+)
+
+// fuzzSchema is planSchema for testing.F callers: one ordinal and one
+// nominal attribute, so every predicate form in the grammar is
+// reachable.
+func fuzzSchema(tb testing.TB) *dataset.Schema {
+	tb.Helper()
+	h, err := hierarchy.ThreeLevel(2, 3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return dataset.MustSchema(
+		dataset.OrdinalAttr("Age", 10),
+		dataset.NominalAttr("Occ", h),
+	)
+}
+
+func FuzzQueryParse(f *testing.F) {
+	for _, seed := range []string{
+		// Every valid predicate form.
+		"", "*", "Age=0..9", "Age=3..3", " Age = 0..4 , Occ=@g1 ",
+		"Occ=@Any", "Occ=#1", "Occ=#0..5", "Occ=#3..5,Age=1..2",
+		// Every documented rejection: inverted and out-of-domain
+		// intervals, wrong-kind predicates, unknown names, bad shapes.
+		"Age=9..0", "Age=0..100", "Occ=0..5", "Age=#1", "Occ=@nope",
+		"Zip=1..2", "Age", "Age=", "=0..3", "Age=a..b", ",,,",
+		"Age=0..3,Age=4..5", "Age=-1..2", "Occ=#-2..-1",
+	} {
+		f.Add(seed)
+	}
+	schema := fuzzSchema(f)
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := query.Parse(schema, raw)
+		if err != nil {
+			// The grammar's error contract: every parse failure is a
+			// client error, mappable to 400 with errors.Is.
+			if !errors.Is(err, query.ErrInvalid) {
+				t.Fatalf("Parse(%q) error does not wrap ErrInvalid: %v", raw, err)
+			}
+			return
+		}
+		spec := q.Spec(schema)
+		q2, err := query.Parse(schema, spec)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", spec, raw, err)
+		}
+		if got := q2.Spec(schema); got != spec {
+			t.Fatalf("Spec is not a fixed point: %q → %q → %q", raw, spec, got)
+		}
+	})
+}

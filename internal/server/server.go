@@ -54,7 +54,16 @@
 //	GET    /readyz                                → readiness (store recovered, ledger loaded);
 //	                                                the cluster tier's probe target
 //	PUT    /internal/replicate/{id}               → replica ingest: body is an encoded release
-//	                                                (the /export bytes); 200 if already present
+//	                                                (the /export bytes); 200 if already present,
+//	                                                410 if the ID is tombstoned (deleted here)
+//	POST   /internal/repair                       → run one anti-entropy sweep, return its report
+//	                                                (clustered nodes only — Config.Cluster.Repair)
+//
+// The /internal/* endpoints are the cluster tier's trusted surface:
+// when Config.Cluster.Secret is set they require Authorization: Bearer
+// with that secret (401 otherwise), and a call stamped with a stale
+// X-Ring-Version is refused with a typed 409 ("stale_ring") so a peer
+// routing on an outdated membership list fails loudly.
 //
 // A publish may carry a caller-chosen single-segment ID (?id=...) — the
 // cluster router uses this, since consistent-hash placement needs the
@@ -138,6 +147,10 @@ type Config struct {
 	// /stats (so aggregated fleet stats are attributable per node) and
 	// echoed by /readyz. Empty means the OS hostname.
 	NodeName string
+	// Cluster wires the cluster tier's node-side surface: bearer auth
+	// and ring-version checks on /internal/*, and the repair trigger.
+	// The zero value means "not clustered". See ClusterConfig.
+	Cluster ClusterConfig
 }
 
 // Server is an HTTP front end over a release store. The zero value is
@@ -153,6 +166,7 @@ type Server struct {
 	nodeName string
 	started  time.Time
 	version  string
+	cluster  ClusterConfig
 	// nextID mints release IDs; seeded past any IDs recovered from the
 	// store's spill directory so a restarted daemon never collides.
 	nextID atomic.Int64
@@ -197,6 +211,7 @@ func New(cfg Config) *Server {
 		store: st, ledger: led, maxBody: cfg.MaxBody, parallelism: cfg.Parallelism,
 		defaultMech: cfg.DefaultMechanism,
 		nodeName:    name, started: time.Now(), version: buildVersion(),
+		cluster: cfg.Cluster,
 	}
 	for _, stub := range st.List() {
 		if n, ok := parseReleaseID(stub.ID); ok && n > s.nextID.Load() {
@@ -234,7 +249,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("PUT /internal/replicate/{id}", s.handleReplicate)
+	mux.HandleFunc("PUT /internal/replicate/{id}", s.internalOnly(s.handleReplicate))
+	if s.cluster.Repair != nil {
+		mux.HandleFunc("POST /internal/repair", s.internalOnly(s.handleRepair))
+	}
 	return mux
 }
 
@@ -276,6 +294,13 @@ func (s *Server) handleReplicate(w http.ResponseWriter, req *http.Request) {
 	switch {
 	case errors.Is(err, store.ErrDuplicate):
 		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "already_present"})
+	case errors.Is(err, store.ErrDeleted):
+		// The release was deliberately withdrawn here; replication must
+		// not resurrect it. 410 tells the pusher to adopt the delete
+		// (drop its own copy) instead of retrying.
+		writeJSON(w, http.StatusGone, map[string]string{
+			"id": id, "error": err.Error(), "code": "deleted",
+		})
 	case err != nil:
 		// A decode failure is the pusher's fault (truncated or corrupt
 		// payload), not ours.
@@ -901,20 +926,22 @@ type nodeIdentity struct {
 }
 
 // handleStats reports store accounting with the ledger's counters
-// nested under "ledger" and the node's identity under "node"; the
-// store fields stay at the top level, so pre-ledger clients decoding
-// into store.Stats keep working.
+// nested under "ledger", the node's identity under "node", and — when
+// clustered — the ring membership version and repair counters under
+// "ring"; the store fields stay at the top level, so pre-ledger clients
+// decoding into store.Stats keep working.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		store.Stats
 		Ledger ledger.Stats `json:"ledger"`
 		Node   nodeIdentity `json:"node"`
+		Ring   any          `json:"ring,omitempty"`
 	}{s.store.Stats(), s.ledger.Stats(), nodeIdentity{
 		Name:      s.nodeName,
 		StartTime: s.started.UTC().Format(time.RFC3339),
 		UptimeSec: time.Since(s.started).Seconds(),
 		Version:   s.version,
-	}})
+	}, s.ringStats()})
 }
 
 // ParseQuery parses the q= syntax. It is a thin alias kept for

@@ -33,10 +33,17 @@ func DecodeRelease(r io.Reader) (*codec.Payload, error) {
 // to the node that published it. workers bounds the evaluator rebuild
 // like Config.Parallelism does for reloads. A taken ID returns an error
 // wrapping ErrDuplicate (releases are immutable, so re-pushing an
-// existing replica is a no-op the caller may treat as success).
+// existing replica is a no-op the caller may treat as success). A
+// tombstoned ID returns an error wrapping ErrDeleted: the release was
+// deliberately removed here, and replication must not resurrect it —
+// the pusher should delete its own copy instead (only an explicit Put,
+// i.e. a fresh publish reusing the ID, clears the tombstone).
 func (s *Store) Ingest(id string, r io.Reader, workers int) error {
 	if err := validateID(id); err != nil {
 		return err
+	}
+	if s.Tombstoned(id) {
+		return fmt.Errorf("store: ingesting %q: %w", id, ErrDeleted)
 	}
 	p, err := DecodeRelease(r)
 	if err != nil {

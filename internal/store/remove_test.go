@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -158,12 +159,22 @@ func TestRemoveConcurrentWithReadersAndEviction(t *testing.T) {
 		t.Fatalf("store not empty after churn: %+v", st)
 	}
 	// Every spill file must be gone too: Remove cleaned up even when it
-	// raced an in-flight write-through.
+	// raced an in-flight write-through. Only the durable tombstone
+	// markers survive — each ID's last operation was a Remove, and the
+	// marker is what keeps replication from resurrecting it.
 	dirents, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tombs := 0
 	for _, d := range dirents {
+		if strings.HasSuffix(d.Name(), tombExt) {
+			tombs++
+			continue
+		}
 		t.Fatalf("orphan file after churn: %s", d.Name())
+	}
+	if tombs != ids {
+		t.Fatalf("tombstone markers after churn = %d, want %d", tombs, ids)
 	}
 }

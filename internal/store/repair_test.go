@@ -1,0 +1,250 @@
+package store
+
+// Tombstone and crash-safety coverage for the anti-entropy surface:
+// Remove leaves a durable delete marker that Ingest honors (so repair
+// never resurrects a deleted release), Put clears it on deliberate ID
+// reuse, recovery finishes a delete the process died in the middle of,
+// and a failed Ingest leaves no partial spill state behind (the
+// tmp+rename contract).
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/query"
+)
+
+// encodePayload renders p to the wire bytes an /export or a repair push
+// would carry.
+func encodePayload(t testing.TB, p *codec.Payload) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeRelease(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRepairTombstoneLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPayload(t, 1)
+	wire := encodePayload(t, p)
+	if err := s.Put("r1", p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tombstoned("r1") || len(s.Tombstones()) != 0 {
+		t.Fatal("fresh release reports a tombstone")
+	}
+	if err := s.Remove("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Tombstoned("r1") {
+		t.Fatal("Remove left no tombstone")
+	}
+	if got := s.Tombstones(); !reflect.DeepEqual(got, []string{"r1"}) {
+		t.Fatalf("Tombstones() = %v, want [r1]", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "r1.tomb")); err != nil {
+		t.Fatalf("tombstone marker not durable: %v", err)
+	}
+	if st := s.Stats(); st.Tombstones != 1 {
+		t.Fatalf("Stats.Tombstones = %d, want 1", st.Tombstones)
+	}
+
+	// Replication must not resurrect the deleted release.
+	err = s.Ingest("r1", bytes.NewReader(wire), 0)
+	if !errors.Is(err, ErrDeleted) {
+		t.Fatalf("Ingest of tombstoned ID: err = %v, want ErrDeleted", err)
+	}
+	if _, err := s.Get("r1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("refused ingest registered the release: %v", err)
+	}
+
+	// A deliberate publish reusing the ID clears the marker.
+	if err := s.Put("r1", testPayload(t, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tombstoned("r1") {
+		t.Fatal("Put did not clear the tombstone")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "r1.tomb")); !os.IsNotExist(err) {
+		t.Fatalf("tombstone marker survived Put: %v", err)
+	}
+	// And replication of the reborn release works again under other IDs.
+	if err := s.Ingest("r2", bytes.NewReader(wire), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairTombstoneSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPayload(t, 3)
+	wire := encodePayload(t, p)
+	if err := s.Put("gone1", p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("gone1"); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Tombstoned("gone1") {
+		t.Fatal("tombstone lost across restart")
+	}
+	if err := re.Ingest("gone1", bytes.NewReader(wire), 0); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("post-restart Ingest of tombstoned ID: err = %v, want ErrDeleted", err)
+	}
+}
+
+// TestRepairRecoveryFinishesCrashedDelete: the process died after
+// Remove wrote the marker but before it unlinked the spill file.
+// Recovery must honor the marker — sweep the orphan file and keep the
+// release deleted — not resurrect it.
+func TestRepairRecoveryFinishesCrashedDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("half1", testPayload(t, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: marker on disk, spill file still there.
+	f, err := os.Create(filepath.Join(dir, "half1.tomb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Get("half1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("recovery resurrected a tombstoned release: %v", err)
+	}
+	if !re.Tombstoned("half1") {
+		t.Fatal("recovery dropped the tombstone")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "half1.prvl")); !os.IsNotExist(err) {
+		t.Fatalf("orphan spill file survived recovery: %v", err)
+	}
+}
+
+// TestRepairIngestCrashSafety: a write error mid-ingest must leave no
+// partial spill file (the tmp+rename contract), free the ID, and let a
+// straight retry succeed.
+func TestRepairIngestCrashSafety(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPayload(t, 5)
+	wire := encodePayload(t, p)
+
+	// Fault 1: the payload dies mid-wire (a truncated replication push).
+	// Decode fails before any file I/O; nothing may exist afterwards.
+	if err := s.Ingest("c1", bytes.NewReader(wire[:len(wire)/2]), 0); err == nil {
+		t.Fatal("truncated ingest succeeded")
+	}
+	assertNoSpillState(t, dir, "c1")
+
+	// Fault 2: the spill write itself fails — the tmp path is blocked, so
+	// os.Create errors exactly where a disk-full would. (A read-only
+	// directory is no use here: the test may run as root, which ignores
+	// permission bits.)
+	tmpBlock := filepath.Join(dir, "c1.prvl.tmp")
+	if err := os.Mkdir(tmpBlock, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest("c1", bytes.NewReader(wire), 0); err == nil {
+		t.Fatal("ingest succeeded despite spill write failure")
+	}
+	if _, err := s.Get("c1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed ingest left the release registered: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "c1.prvl")); !os.IsNotExist(err) {
+		t.Fatal("failed ingest left a spill file")
+	}
+	if err := os.Remove(tmpBlock); err != nil {
+		t.Fatal(err)
+	}
+
+	// The retry (same ID, same bytes) succeeds and answers queries.
+	if err := s.Ingest("c1", bytes.NewReader(wire), 0); err != nil {
+		t.Fatalf("retry after write failure: %v", err)
+	}
+	rel, err := s.Get("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := counts(t, Release{ID: "ref", Payload: p, Eval: query.NewEvaluator(p.Noisy)}, probeQueries(t, p.Schema))
+	got := counts(t, rel, probeQueries(t, rel.Payload.Schema))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("retried ingest answers %v, want %v", got, want)
+	}
+
+	// Fault 3: a crash mid-spill strands a tmp file; the next recovery
+	// sweeps it without disturbing healthy releases.
+	stranded := filepath.Join(dir, "c2.prvl.tmp")
+	if err := os.WriteFile(stranded, wire[:len(wire)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stranded); !os.IsNotExist(err) {
+		t.Fatal("recovery left the stranded tmp file")
+	}
+	if _, err := re.Get("c1"); err != nil {
+		t.Fatalf("healthy release lost during tmp sweep: %v", err)
+	}
+}
+
+// assertNoSpillState fails if any on-disk artifact for id exists.
+func assertNoSpillState(t *testing.T, dir, id string) {
+	t.Helper()
+	for _, suffix := range []string{".prvl", ".prvl.tmp", ".tomb"} {
+		if _, err := os.Stat(filepath.Join(dir, id+suffix)); !os.IsNotExist(err) {
+			t.Fatalf("unexpected artifact %s%s (stat err %v)", id, suffix, err)
+		}
+	}
+}
+
+func TestRepairIDsListing(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"r10", "r2", "alice/1", "r1"} {
+		if err := s.Put(id, testPayload(t, 7), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Remove("r2"); err != nil {
+		t.Fatal(err)
+	}
+	// Shortest-first then lexicographic, tombstoned IDs excluded.
+	want := []string{"r1", "r10", "alice/1"}
+	if got := s.IDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+}

@@ -66,6 +66,14 @@ const DefaultAnswerCache = 1 << 16
 // spill file is itself a valid release artifact.
 const spillExt = ".prvl"
 
+// tombExt is the filename extension of tombstone markers: an empty file
+// recording that the release under the flattened ID was deliberately
+// deleted. Anti-entropy repair needs the distinction "never had it" vs
+// "had it and deleted it" — without the marker, a replica that was down
+// during a DELETE would resurrect its copy across the whole ring on the
+// next repair sweep.
+const tombExt = ".tomb"
+
 // ErrNotFound is returned (wrapped) by Get and Describe when no release
 // has the given ID. Callers should test with errors.Is.
 var ErrNotFound = errors.New("store: release not found")
@@ -76,6 +84,12 @@ var ErrNotFound = errors.New("store: release not found")
 // exists already holds the same bytes), while a publish treats it as a
 // caller bug.
 var ErrDuplicate = errors.New("store: duplicate release")
+
+// ErrDeleted is returned (wrapped) by Ingest when the ID carries a
+// tombstone: the release was deliberately removed, and replication must
+// not resurrect it. Only an explicit Put (a fresh publish reusing the
+// ID) clears the tombstone. Callers should test with errors.Is.
+var ErrDeleted = errors.New("store: release deleted")
 
 // Config configures a Store.
 type Config struct {
@@ -166,6 +180,7 @@ type Stats struct {
 	Evictions            int64 `json:"evictions"`
 	Reloads              int64 `json:"reloads"`
 	Removals             int64 `json:"removals"`
+	Tombstones           int   `json:"tombstones"`
 	AnswerCacheMax       int   `json:"answer_cache_max"`
 	AnswerCacheEntries   int   `json:"answer_cache_entries"`
 	AnswerCacheHits      int64 `json:"answer_cache_hits"`
@@ -191,6 +206,13 @@ type Store struct {
 	// cacheCtr aggregates answer-cache traffic across every release's
 	// cache, so /stats totals survive individual release removal.
 	cacheCtr query.CacheCounters
+
+	// tombMu guards tombs, the set of deleted release IDs. Tombstones are
+	// few (one per deliberate DELETE, cleared on ID reuse), so a single
+	// mutex beside the sharded entries costs nothing on the serving path —
+	// only Remove, Put, Ingest and the repair sweep touch it.
+	tombMu sync.Mutex
+	tombs  map[string]struct{}
 }
 
 type shard struct {
@@ -231,7 +253,7 @@ func New(cfg Config) (*Store, error) {
 	if cfg.MaxResident > 0 && cfg.Dir == "" {
 		return nil, fmt.Errorf("store: MaxResident %d requires a spill Dir", cfg.MaxResident)
 	}
-	s := &Store{cfg: cfg, shards: make([]shard, cfg.Shards)}
+	s := &Store{cfg: cfg, shards: make([]shard, cfg.Shards), tombs: make(map[string]struct{})}
 	for i := range s.shards {
 		s.shards[i].entries = make(map[string]*entry)
 	}
@@ -258,6 +280,21 @@ func (s *Store) recover() error {
 	if err != nil {
 		return fmt.Errorf("store: scanning %s: %w", s.cfg.Dir, err)
 	}
+	// Tombstones first: a spill file whose ID is tombstoned is an orphan
+	// from a crash between Remove's marker write and its unlink — the
+	// marker wins (the release was deliberately deleted), and the orphan
+	// is swept rather than resurrected.
+	for _, d := range dirents {
+		name := d.Name()
+		if d.IsDir() || !strings.HasSuffix(name, tombExt) {
+			continue
+		}
+		id := spillID(strings.TrimSuffix(name, tombExt))
+		if validateID(id) != nil {
+			continue // not one of ours
+		}
+		s.tombs[id] = struct{}{}
+	}
 	for _, d := range dirents {
 		name := d.Name()
 		if d.IsDir() {
@@ -275,6 +312,10 @@ func (s *Store) recover() error {
 		id := spillID(strings.TrimSuffix(name, spillExt))
 		if validateID(id) != nil {
 			continue // not one of ours
+		}
+		if s.Tombstoned(id) {
+			os.Remove(filepath.Join(s.cfg.Dir, name))
+			continue
 		}
 		p, err := s.readSpill(id)
 		if err != nil {
@@ -369,6 +410,10 @@ func (s *Store) Put(id string, p *codec.Payload, workers int) error {
 		e.spilled = true
 		sh.mu.Unlock()
 	}
+	// A fresh publish reusing a deleted ID clears the tombstone — but only
+	// once the release is fully durable, so a failed Put leaves the delete
+	// marker (and the repair sweep's view of it) intact.
+	s.clearTombstone(id)
 	s.enforceBudget()
 	return nil
 }
@@ -400,6 +445,11 @@ func (s *Store) Remove(id string) error {
 		s.resident.Add(-1)
 	}
 	s.removals.Add(1)
+	// Tombstone before the spill unlink: if the process dies between the
+	// two, recovery finds marker + file and finishes the delete instead of
+	// resurrecting the release. Repair sweeps read the marker to propagate
+	// the delete to replicas that were down when it happened.
+	s.addTombstone(id)
 	// Wait for an in-flight write-through to settle: Put holds ioMu from
 	// the slot claim until its rename (or orphan cleanup) is done, so
 	// after this acquisition the file state is final and no stale rename
@@ -498,6 +548,96 @@ func (s *Store) ListPrefix(prefix string) []Stub {
 	return out
 }
 
+// IDs returns every stored release ID in List's order (shortest first,
+// then lexicographic) without copying the stubs — the cheap placement
+// listing an anti-entropy sweep diffs against the ring.
+func (s *Store) IDs() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.entries {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Tombstoned reports whether id carries a delete marker (removed, not
+// yet republished under the same ID).
+func (s *Store) Tombstoned(id string) bool {
+	s.tombMu.Lock()
+	defer s.tombMu.Unlock()
+	_, ok := s.tombs[id]
+	return ok
+}
+
+// Tombstones returns the deleted release IDs, sorted like IDs — what a
+// repair sweep propagates to replicas that missed the DELETE.
+func (s *Store) Tombstones() []string {
+	s.tombMu.Lock()
+	out := make([]string, 0, len(s.tombs))
+	for id := range s.tombs {
+		out = append(out, id)
+	}
+	s.tombMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// addTombstone records id as deliberately deleted, durably when a spill
+// directory exists (an empty <id>.tomb beside where the spill file was).
+// The marker write is best-effort: a failed write costs at worst one
+// resurrection after a restart, which the next DELETE fixes — whereas
+// failing the Remove over it would leave the release serving.
+func (s *Store) addTombstone(id string) {
+	s.tombMu.Lock()
+	s.tombs[id] = struct{}{}
+	s.tombMu.Unlock()
+	if s.cfg.Dir != "" {
+		f, err := os.Create(s.tombPath(id))
+		if err != nil {
+			log.Printf("store: writing tombstone for %q: %v", id, err)
+			return
+		}
+		f.Close()
+	}
+}
+
+// clearTombstone withdraws id's delete marker (a fresh publish reused
+// the ID).
+func (s *Store) clearTombstone(id string) {
+	s.tombMu.Lock()
+	_, had := s.tombs[id]
+	delete(s.tombs, id)
+	s.tombMu.Unlock()
+	if had && s.cfg.Dir != "" {
+		os.Remove(s.tombPath(id))
+	}
+}
+
+func (s *Store) tombstoneCount() int {
+	s.tombMu.Lock()
+	defer s.tombMu.Unlock()
+	return len(s.tombs)
+}
+
+func (s *Store) tombPath(id string) string {
+	return filepath.Join(s.cfg.Dir, spillName(id)+tombExt)
+}
+
 // Len returns the number of stored releases, resident or spilled.
 func (s *Store) Len() int {
 	n := 0
@@ -534,6 +674,7 @@ func (s *Store) Stats() Stats {
 		Evictions:            s.evictions.Load(),
 		Reloads:              s.reloads.Load(),
 		Removals:             s.removals.Load(),
+		Tombstones:           s.tombstoneCount(),
 		AnswerCacheMax:       max(s.cfg.AnswerCache, 0),
 		AnswerCacheEntries:   cached,
 		AnswerCacheHits:      s.cacheCtr.Hits.Load(),
