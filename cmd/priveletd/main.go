@@ -128,6 +128,8 @@ func main() {
 		secret      = flag.String("cluster-secret", "", "shared bearer token for /internal/* calls: nodes require it, routers and repair sweeps send it (empty = unauthenticated)")
 		ringVersion = flag.Uint64("ring-version", 0, "membership version of -peers; bump it on every peer-list change — internal calls from peers still on an older version are refused with a typed 409")
 		repairEvery = flag.Duration("repair-interval", cluster.DefaultRepairInterval, "anti-entropy sweep interval (node mode with -peers; 0 disables the background loop, POST /internal/repair still works)")
+		repairJit   = flag.Duration("repair-jitter", 0, "max random delay added to each sweep's wait so a fleet restarted together doesn't list every peer in lockstep (0 = 10% of -repair-interval, negative disables)")
+		useMMap     = flag.Bool("mmap", true, "memory-map spilled releases' summed-area tables on reload (durable format v2): zero prefix-sum work and page-cache-bounded residency; off falls back to heap reloads (still rebuild-free for v2 files)")
 	)
 	flag.Parse()
 
@@ -149,7 +151,7 @@ func main() {
 		// rebuilds (startup recovery and spilled-release reloads);
 		// rebuilds are bit-identical at any worker count, so this is
 		// latency-only.
-		st, err := store.New(store.Config{Dir: *storeDir, MaxResident: *maxResident, Shards: *shards, Parallelism: *workers, AnswerCache: *answerCache})
+		st, err := store.New(store.Config{Dir: *storeDir, MaxResident: *maxResident, Shards: *shards, Parallelism: *workers, AnswerCache: *answerCache, NoMMap: !*useMMap})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -177,7 +179,7 @@ func main() {
 		// starts shipping files.
 		clusterCfg := server.ClusterConfig{Secret: *secret, RingVersion: *ringVersion}
 		if *peers != "" {
-			rep, err := nodeRepairer(*peers, *replicas, *ringVersion, *nodeName, *secret, *repairEvery, st)
+			rep, err := nodeRepairer(*peers, *replicas, *ringVersion, *nodeName, *secret, *repairEvery, *repairJit, st)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -216,7 +218,7 @@ func bootHandler(reason string) http.Handler {
 // -peers/-replicas/-ring-version spelling the router uses, so one
 // deployment config describes both tiers. The node must appear in its
 // own peer list under its -node-name.
-func nodeRepairer(peerSpec string, replicas int, version uint64, self, secret string, interval time.Duration, st *store.Store) (*cluster.Repairer, error) {
+func nodeRepairer(peerSpec string, replicas int, version uint64, self, secret string, interval, jitter time.Duration, st *store.Store) (*cluster.Repairer, error) {
 	nodes, err := cluster.ParsePeers(peerSpec)
 	if err != nil {
 		return nil, err
@@ -230,7 +232,7 @@ func nodeRepairer(peerSpec string, replicas int, version uint64, self, secret st
 	}
 	return cluster.NewRepairer(cluster.RepairConfig{
 		Self: self, Ring: ring, Store: st,
-		Interval: interval, Secret: secret,
+		Interval: interval, Jitter: jitter, Secret: secret,
 	})
 }
 

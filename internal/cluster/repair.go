@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"sort"
@@ -47,6 +48,14 @@ type RepairConfig struct {
 	// DefaultRepairInterval. The interval only matters to Start — an
 	// on-demand Sweep ignores it.
 	Interval time.Duration
+	// Jitter is the maximum random delay added to each background
+	// sweep's wait, desynchronizing a fleet whose nodes restarted
+	// together so their sweeps don't hammer every peer's /releases
+	// listing in the same instant. 0 means the default of 10% of the
+	// effective Interval; negative disables jitter (exact-period sweeps,
+	// what deterministic tests want). Like Interval it only matters to
+	// Start.
+	Jitter time.Duration
 	// Secret is the cluster's shared bearer token, sent on pushes to
 	// peers' /internal/replicate endpoints. Must match the peers'
 	// -cluster-secret; empty only works against unauthenticated peers.
@@ -154,6 +163,12 @@ func NewRepairer(cfg RepairConfig) (*Repairer, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = DefaultRepairInterval
 	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = cfg.Interval / 10
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 64 << 20
 	}
@@ -182,8 +197,12 @@ func (r *Repairer) Stats() RepairStats {
 }
 
 // Start launches the background sweep loop; Stop ends it. The first
-// sweep runs one full interval after Start — a restarting node should
-// finish its own recovery traffic before it starts shipping files.
+// sweep runs one full interval (plus jitter) after Start — a restarting
+// node should finish its own recovery traffic before it starts shipping
+// files. Each cycle waits Interval plus a fresh uniform draw from
+// [0, Jitter): nodes that came up together (a fleet-wide restart, the
+// exact moment sweeps are busiest) drift apart instead of listing every
+// peer's /releases in lockstep forever.
 func (r *Repairer) Start() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -195,7 +214,7 @@ func (r *Repairer) Start() {
 	stop, done := r.stop, r.done
 	go func() {
 		defer close(done)
-		t := time.NewTicker(r.cfg.Interval)
+		t := time.NewTimer(r.cfg.Interval + r.jitter())
 		defer t.Stop()
 		for {
 			select {
@@ -203,9 +222,18 @@ func (r *Repairer) Start() {
 				return
 			case <-t.C:
 				_, _ = r.Sweep(context.Background())
+				t.Reset(r.cfg.Interval + r.jitter())
 			}
 		}
 	}()
+}
+
+// jitter draws one cycle's random scheduling offset, in [0, cfg.Jitter).
+func (r *Repairer) jitter() time.Duration {
+	if r.cfg.Jitter <= 0 {
+		return 0
+	}
+	return rand.N(r.cfg.Jitter)
 }
 
 // Stop ends the background loop and waits for it to exit. Safe to call

@@ -11,7 +11,7 @@
 // encoding/binary):
 //
 //	magic   "PRVL"            4 bytes
-//	version u16               currently 1
+//	version u16               1 or 2
 //	meta    mechanism string, epsilon/rho/lambda/bound float64
 //	schema  attr count varint, then per attribute:
 //	          name string, kind u8, size varint,
@@ -19,17 +19,44 @@
 //	            (label string, child count varint, children...)
 //	matrix  dim count varint, dims varints, entries float64 LE
 //
-// Strings are varint length + UTF-8 bytes. The format is
-// self-describing enough for forward-compatible readers to reject
-// unknown versions cleanly.
+// Version 2 (the durable format carrying the precomputed summed-area
+// table, so reloading a release costs zero prefix-sum work — the
+// paper's §V constant-time query evaluator persisted alongside the
+// data it answers from) keeps the header/meta/schema sections and
+// dims bit-identical, then aligns and extends the tail:
+//
+//	pad     u8 length + zero bytes   (matrix entries 8-byte aligned)
+//	matrix  entries float64 LE       (same values as version 1)
+//	pad     u8 length + zero bytes   (table 8-byte aligned)
+//	table   entries float64 LE       (summed-area table over the matrix)
+//	total   float64 LE               (sum of raw matrix entries)
+//	crc     u32 LE                   (CRC-32C of table + total bytes)
+//	end     "PVL2"                   4 bytes
+//
+// The 8-byte alignment of both float64 sections is what lets a reader
+// memory-map the file and serve queries straight from the mapped table
+// (DecodeMapped); the checksum is what keeps a torn or bit-flipped
+// table from silently answering garbage — a failed check surfaces as
+// ErrTable with the (still intact) matrix payload, so callers rebuild
+// the table instead of trusting it. Strings are varint length + UTF-8
+// bytes. The format is self-describing enough for forward-compatible
+// readers to reject unknown versions cleanly, and version-1 files
+// remain fully readable forever (golden artifacts pin this in
+// testdata/).
 package codec
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
+	"runtime"
+	"unsafe"
 
 	"repro/internal/dataset"
 	"repro/internal/hierarchy"
@@ -37,12 +64,37 @@ import (
 )
 
 const (
-	magic   = "PRVL"
-	version = 1
+	magic    = "PRVL"
+	version1 = 1
+	version2 = 2
+	// endMagic terminates a version-2 stream; its absence after the
+	// checksum marks a truncated tail.
+	endMagic = "PVL2"
 	// maxStringLen bounds decoded strings to keep corrupt inputs from
 	// allocating unbounded memory.
 	maxStringLen = 1 << 20
 )
+
+// crcTable is the CRC-32C (Castagnoli) polynomial — hardware-accelerated
+// on amd64/arm64, so checksumming the table costs far less than the
+// prefix-sum rebuild it replaces.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTable tags a version-2 decode whose summed-area table section is
+// unreadable — checksum mismatch, truncated tail, or missing end magic —
+// while the payload proper (meta, schema, matrix) decoded fine. Decode
+// and DecodeMapped return the intact payload WITH an error wrapping
+// ErrTable in that case: callers must not serve the table, but they can
+// (and the store does) rebuild it from the matrix instead of failing
+// the whole release. Test with errors.Is.
+var ErrTable = errors.New("codec: summed-area table unreadable")
+
+// hostLittleEndian reports whether this machine's float64 layout matches
+// the wire format, i.e. whether a mapped table can be served zero-copy.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
 
 // Meta is the privacy accounting carried alongside a release.
 type Meta struct {
@@ -58,85 +110,406 @@ type Payload struct {
 	Meta   Meta
 	Schema *dataset.Schema
 	Noisy  *matrix.Matrix
+	// Table, when non-nil, is the summed-area (prefix-sum) table over
+	// Noisy — the evaluator's precomputed state, persisted by format
+	// version 2 so a reload performs zero prefix-sum work. Its dims
+	// always equal Noisy's. Total is the sum of Noisy's entries (the
+	// evaluator's cached total); it is meaningful only when Table is
+	// set.
+	Table *matrix.Matrix
+	Total float64
 }
 
-// Encode writes the payload to w.
+// countWriter counts bytes written through it — the encoder needs
+// absolute offsets to place the alignment padding of format version 2.
+type countWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countWriter) WriteByte(b byte) error {
+	err := c.w.WriteByte(b)
+	if err == nil {
+		c.n++
+	}
+	return err
+}
+
+func (c *countWriter) WriteString(s string) (int, error) {
+	n, err := c.w.WriteString(s)
+	c.n += int64(n)
+	return n, err
+}
+
+// Encode writes the payload to w: format version 2 when p.Table is set
+// (the durable form every spill file and /export response uses), the
+// table-less version 1 otherwise. Encoding is deterministic — equal
+// payloads produce bit-identical bytes.
 func Encode(w io.Writer, p *Payload) error {
 	if p == nil || p.Schema == nil || p.Noisy == nil {
 		return fmt.Errorf("codec: nil payload components")
 	}
+	ver := uint16(version1)
+	if p.Table != nil {
+		if !equalDims(p.Table.Dims(), p.Noisy.Dims()) {
+			return fmt.Errorf("codec: table dims %v do not match matrix dims %v", p.Table.Dims(), p.Noisy.Dims())
+		}
+		ver = version2
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
+	cw := &countWriter{w: bw}
+	if _, err := cw.WriteString(magic); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint16(version)); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, ver); err != nil {
 		return err
 	}
-	if err := writeString(bw, p.Meta.Mechanism); err != nil {
+	if err := writeString(cw, p.Meta.Mechanism); err != nil {
 		return err
 	}
 	for _, f := range []float64{p.Meta.Epsilon, p.Meta.Rho, p.Meta.Lambda, p.Meta.Bound} {
-		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, f); err != nil {
 			return err
 		}
 	}
-	if err := encodeSchema(bw, p.Schema); err != nil {
+	if err := encodeSchema(cw, p.Schema); err != nil {
 		return err
 	}
-	if err := encodeMatrix(bw, p.Noisy); err != nil {
+	dims := p.Noisy.Dims()
+	writeUvarint(cw, uint64(len(dims)))
+	for _, d := range dims {
+		writeUvarint(cw, uint64(d))
+	}
+	if ver == version2 {
+		if err := writePad(cw); err != nil {
+			return err
+		}
+	}
+	if err := writeFloats(cw, p.Noisy.Data(), nil); err != nil {
 		return err
+	}
+	if ver == version2 {
+		if err := writePad(cw); err != nil {
+			return err
+		}
+		h := crc32.New(crcTable)
+		if err := writeFloats(cw, p.Table.Data(), h); err != nil {
+			return err
+		}
+		var tot [8]byte
+		binary.LittleEndian.PutUint64(tot[:], math.Float64bits(p.Total))
+		if _, err := cw.Write(tot[:]); err != nil {
+			return err
+		}
+		h.Write(tot[:])
+		if err := binary.Write(cw, binary.LittleEndian, h.Sum32()); err != nil {
+			return err
+		}
+		if _, err := cw.WriteString(endMagic); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
 
-// Decode reads a payload from r.
-func Decode(r io.Reader) (*Payload, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, 4)
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("codec: reading magic: %w", err)
-	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("codec: bad magic %q", head)
-	}
-	var ver uint16
-	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
-		return nil, fmt.Errorf("codec: reading version: %w", err)
-	}
-	if ver != version {
-		return nil, fmt.Errorf("codec: unsupported version %d (want %d)", ver, version)
-	}
-	var p Payload
-	var err error
-	if p.Meta.Mechanism, err = readString(br); err != nil {
-		return nil, fmt.Errorf("codec: mechanism: %w", err)
-	}
-	for _, dst := range []*float64{&p.Meta.Epsilon, &p.Meta.Rho, &p.Meta.Lambda, &p.Meta.Bound} {
-		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
-			return nil, fmt.Errorf("codec: meta floats: %w", err)
-		}
-	}
-	if p.Schema, err = decodeSchema(br); err != nil {
-		return nil, err
-	}
-	if p.Noisy, err = decodeMatrix(br); err != nil {
-		return nil, err
-	}
-	// Cross-validate: matrix shape must match the schema.
-	want := p.Schema.Dims()
-	got := p.Noisy.Dims()
-	if len(want) != len(got) {
-		return nil, fmt.Errorf("codec: matrix dimensionality %d does not match schema %d", len(got), len(want))
-	}
-	for i := range want {
-		if want[i] != got[i] {
-			return nil, fmt.Errorf("codec: matrix shape %v does not match schema %v", got, want)
-		}
-	}
-	return &p, nil
+// reader is what the sequential decoder needs — satisfied by both
+// *bufio.Reader (streams) and *bytes.Reader (mapped buffers).
+type reader interface {
+	io.Reader
+	io.ByteReader
 }
 
-func encodeSchema(w *bufio.Writer, s *dataset.Schema) error {
+// Decode reads a payload from r (format version 1 or 2). For a
+// version-2 stream whose table section fails its checksum or is
+// truncated, Decode returns the intact payload (Table nil) together
+// with an error wrapping ErrTable — see ErrTable for the contract.
+func Decode(r io.Reader) (*Payload, error) {
+	br := bufio.NewReader(r)
+	ver, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	p, dims, err := decodeCommon(br)
+	if err != nil {
+		return nil, err
+	}
+	m, err := matrix.New(dims...)
+	if err != nil {
+		return nil, err
+	}
+	if ver == version2 {
+		if err := skipPad(br); err != nil {
+			return nil, fmt.Errorf("codec: matrix padding: %w", err)
+		}
+	}
+	if err := readFloats(br, m.Data(), nil); err != nil {
+		return nil, fmt.Errorf("codec: matrix entries: %w", err)
+	}
+	p.Noisy = m
+	if ver == version1 {
+		return p, nil
+	}
+	if err := decodeTable(br, p, dims); err != nil {
+		return p, fmt.Errorf("codec: %v: %w", err, ErrTable)
+	}
+	return p, nil
+}
+
+// MapInfo reports which sections of a DecodeMapped payload are zero-copy
+// views over the caller's buffer (as opposed to heap copies) — the
+// store's residency accounting distinguishes the two on /stats.
+type MapInfo struct {
+	// Noisy and Table report that the respective matrix's backing slice
+	// aliases the input buffer.
+	Noisy bool
+	Table bool
+}
+
+// DecodeMapped decodes a payload from an in-memory buffer — typically a
+// memory-mapped spill file — wrapping the float64 sections zero-copy
+// where the format allows it (version 2, little-endian host, 8-byte
+// aligned buffer): the returned matrices then read straight from data's
+// pages, and reloading a release costs no decode and no prefix-sum
+// work. pin is retained by every zero-copy matrix (matrix.Wrap), so a
+// finalizer-managed mapping stays alive as long as any view of it;
+// callers must not mutate data afterwards. Sections that cannot be
+// wrapped (version-1 input, misalignment, byte-swapped host) are copied
+// instead — same values, heap-backed. The ErrTable contract matches
+// Decode: a corrupt table section returns the intact payload plus an
+// error wrapping ErrTable.
+func DecodeMapped(data []byte, pin any) (*Payload, MapInfo, error) {
+	// pin must stay reachable for as long as data is read: a
+	// finalizer-managed mapping (mmapfile.File) whose last reference is
+	// this call's argument would otherwise be collectable — and its
+	// pages unmapped — mid-decode, since the collector does not trace
+	// data's off-heap backing. After return, reachability transfers to
+	// the zero-copy matrices (matrix.Wrap holds pin); copy-decoded
+	// sections no longer need the mapping at all.
+	defer runtime.KeepAlive(pin)
+	r := bytes.NewReader(data)
+	var info MapInfo
+	ver, err := readHeader(r)
+	if err != nil {
+		return nil, info, err
+	}
+	p, dims, err := decodeCommon(r)
+	if err != nil {
+		return nil, info, err
+	}
+	n := p.Schema.DomainSize()
+	if ver == version1 {
+		m, err := matrix.New(dims...)
+		if err != nil {
+			return nil, info, err
+		}
+		if err := readFloats(r, m.Data(), nil); err != nil {
+			return nil, info, fmt.Errorf("codec: matrix entries: %w", err)
+		}
+		p.Noisy = m
+		return p, info, nil
+	}
+	noisyVals, _, noisyMapped, err := takeFloats(data, r, n, pin)
+	if err != nil {
+		return nil, info, fmt.Errorf("codec: matrix entries: %w", err)
+	}
+	if p.Noisy, err = matrix.Wrap(noisyVals, pinIf(noisyMapped, pin), dims...); err != nil {
+		return nil, info, err
+	}
+	info.Noisy = noisyMapped
+	if err := mapTable(data, r, p, dims, n, pin, &info); err != nil {
+		return p, info, fmt.Errorf("codec: %v: %w", err, ErrTable)
+	}
+	return p, info, nil
+}
+
+// mapTable decodes the version-2 table section of a mapped buffer into
+// p, verifying the checksum against the raw bytes. Any failure leaves p
+// without a table (the caller wraps the error in ErrTable).
+func mapTable(data []byte, r *bytes.Reader, p *Payload, dims []int, n int, pin any, info *MapInfo) error {
+	tableVals, raw, tableMapped, err := takeFloats(data, r, n, pin)
+	if err != nil {
+		return fmt.Errorf("table entries: %v", err)
+	}
+	totOff := len(data) - r.Len()
+	var total float64
+	if err := binary.Read(r, binary.LittleEndian, &total); err != nil {
+		return fmt.Errorf("table total: %v", err)
+	}
+	var crc uint32
+	if err := binary.Read(r, binary.LittleEndian, &crc); err != nil {
+		return fmt.Errorf("table checksum: %v", err)
+	}
+	got := crc32.Update(crc32.Checksum(raw, crcTable), crcTable, data[totOff:totOff+8])
+	if got != crc {
+		return fmt.Errorf("table checksum mismatch: file says %08x, bytes hash to %08x", crc, got)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return fmt.Errorf("end magic: %v", err)
+	}
+	if string(tail[:]) != endMagic {
+		return fmt.Errorf("bad end magic %q", tail)
+	}
+	table, err := matrix.Wrap(tableVals, pinIf(tableMapped, pin), dims...)
+	if err != nil {
+		return err
+	}
+	p.Table, p.Total = table, total
+	info.Table = tableMapped
+	return nil
+}
+
+// takeFloats consumes one padded float64 section of a mapped buffer:
+// it skips the alignment pad, bounds-checks the section, and returns it
+// as a []float64 — aliasing data (mapped=true) when the host is
+// little-endian and the section is 8-byte aligned, a heap copy
+// otherwise — plus the raw bytes for checksumming.
+func takeFloats(data []byte, r *bytes.Reader, n int, pin any) (vals []float64, raw []byte, mapped bool, err error) {
+	if err := skipPad(r); err != nil {
+		return nil, nil, false, err
+	}
+	off := len(data) - r.Len()
+	end := off + n*8
+	if n < 0 || end < off || end > len(data) {
+		return nil, nil, false, io.ErrUnexpectedEOF
+	}
+	raw = data[off:end:end]
+	if _, err := r.Seek(int64(n)*8, io.SeekCurrent); err != nil {
+		return nil, nil, false, err
+	}
+	if n == 0 {
+		return []float64{}, raw, false, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&raw[0])), n), raw, true, nil
+	}
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return vals, raw, false, nil
+}
+
+// pinIf returns pin only for zero-copy sections — heap copies have no
+// external owner to keep alive.
+func pinIf(mapped bool, pin any) any {
+	if mapped {
+		return pin
+	}
+	return nil
+}
+
+// readHeader consumes and validates the magic and version.
+func readHeader(r reader) (uint16, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, fmt.Errorf("codec: reading magic: %w", err)
+	}
+	if string(head[:]) != magic {
+		return 0, fmt.Errorf("codec: bad magic %q", head)
+	}
+	var ver uint16
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+		return 0, fmt.Errorf("codec: reading version: %w", err)
+	}
+	if ver != version1 && ver != version2 {
+		return 0, fmt.Errorf("codec: unsupported version %d (want %d or %d)", ver, version1, version2)
+	}
+	return ver, nil
+}
+
+// decodeCommon reads the sections shared by both versions — meta,
+// schema, matrix dims — and cross-validates the dims against the
+// schema, so no float64 section is read for a structurally broken file.
+func decodeCommon(r reader) (*Payload, []int, error) {
+	var p Payload
+	var err error
+	if p.Meta.Mechanism, err = readString(r); err != nil {
+		return nil, nil, fmt.Errorf("codec: mechanism: %w", err)
+	}
+	for _, dst := range []*float64{&p.Meta.Epsilon, &p.Meta.Rho, &p.Meta.Lambda, &p.Meta.Bound} {
+		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+			return nil, nil, fmt.Errorf("codec: meta floats: %w", err)
+		}
+	}
+	if p.Schema, err = decodeSchema(r); err != nil {
+		return nil, nil, err
+	}
+	nd, err := readUvarint(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("codec: matrix dim count: %w", err)
+	}
+	if nd == 0 || nd > 64 {
+		return nil, nil, fmt.Errorf("codec: implausible dimensionality %d", nd)
+	}
+	dims := make([]int, nd)
+	for i := range dims {
+		d, err := readUvarint(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("codec: matrix dim %d: %w", i, err)
+		}
+		if d == 0 || d > matrix.MaxEntries {
+			return nil, nil, fmt.Errorf("codec: implausible dimension size %d", d)
+		}
+		dims[i] = int(d)
+	}
+	want := p.Schema.Dims()
+	if len(want) != len(dims) {
+		return nil, nil, fmt.Errorf("codec: matrix dimensionality %d does not match schema %d", len(dims), len(want))
+	}
+	for i := range want {
+		if want[i] != dims[i] {
+			return nil, nil, fmt.Errorf("codec: matrix shape %v does not match schema %v", dims, want)
+		}
+	}
+	return &p, dims, nil
+}
+
+// decodeTable reads the version-2 tail of a sequential stream: pad,
+// table, total, checksum, end magic. Errors leave p table-less.
+func decodeTable(r reader, p *Payload, dims []int) error {
+	if err := skipPad(r); err != nil {
+		return fmt.Errorf("table padding: %v", err)
+	}
+	tm, err := matrix.New(dims...)
+	if err != nil {
+		return err
+	}
+	h := crc32.New(crcTable)
+	if err := readFloats(r, tm.Data(), h); err != nil {
+		return fmt.Errorf("table entries: %v", err)
+	}
+	var tot [8]byte
+	if _, err := io.ReadFull(r, tot[:]); err != nil {
+		return fmt.Errorf("table total: %v", err)
+	}
+	h.Write(tot[:])
+	total := math.Float64frombits(binary.LittleEndian.Uint64(tot[:]))
+	var crc uint32
+	if err := binary.Read(r, binary.LittleEndian, &crc); err != nil {
+		return fmt.Errorf("table checksum: %v", err)
+	}
+	if got := h.Sum32(); got != crc {
+		return fmt.Errorf("table checksum mismatch: file says %08x, bytes hash to %08x", crc, got)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return fmt.Errorf("end magic: %v", err)
+	}
+	if string(tail[:]) != endMagic {
+		return fmt.Errorf("bad end magic %q", tail)
+	}
+	p.Table, p.Total = tm, total
+	return nil
+}
+
+func encodeSchema(w *countWriter, s *dataset.Schema) error {
 	writeUvarint(w, uint64(s.NumAttrs()))
 	for i := 0; i < s.NumAttrs(); i++ {
 		a := s.Attr(i)
@@ -160,7 +533,7 @@ func encodeSchema(w *bufio.Writer, s *dataset.Schema) error {
 	return nil
 }
 
-func decodeSchema(r *bufio.Reader) (*dataset.Schema, error) {
+func decodeSchema(r reader) (*dataset.Schema, error) {
 	count, err := readUvarint(r)
 	if err != nil {
 		return nil, fmt.Errorf("codec: attr count: %w", err)
@@ -208,7 +581,7 @@ func decodeSchema(r *bufio.Reader) (*dataset.Schema, error) {
 // maxHierarchyDepth bounds recursion on corrupt input.
 const maxHierarchyDepth = 64
 
-func encodeNode(w *bufio.Writer, n *hierarchy.Node) error {
+func encodeNode(w *countWriter, n *hierarchy.Node) error {
 	if err := writeString(w, n.Label); err != nil {
 		return err
 	}
@@ -221,7 +594,7 @@ func encodeNode(w *bufio.Writer, n *hierarchy.Node) error {
 	return nil
 }
 
-func decodeNode(r *bufio.Reader, depth int) (*hierarchy.Node, error) {
+func decodeNode(r reader, depth int) (*hierarchy.Node, error) {
 	if depth > maxHierarchyDepth {
 		return nil, fmt.Errorf("codec: hierarchy deeper than %d", maxHierarchyDepth)
 	}
@@ -247,63 +620,96 @@ func decodeNode(r *bufio.Reader, depth int) (*hierarchy.Node, error) {
 	return n, nil
 }
 
-func encodeMatrix(w *bufio.Writer, m *matrix.Matrix) error {
-	dims := m.Dims()
-	writeUvarint(w, uint64(len(dims)))
-	for _, d := range dims {
-		writeUvarint(w, uint64(d))
-	}
-	var buf [8]byte
-	for _, v := range m.Data() {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		if _, err := w.Write(buf[:]); err != nil {
+// floatChunk is the number of float64 values converted per I/O chunk —
+// 8 KiB buffers keep the encode/decode loops out of per-entry call
+// overhead without noticeable stack cost.
+const floatChunk = 1024
+
+// writeFloats writes vals as little-endian float64, feeding the same
+// bytes to h when non-nil (the table checksum).
+func writeFloats(w io.Writer, vals []float64, h hash.Hash32) error {
+	var buf [floatChunk * 8]byte
+	for len(vals) > 0 {
+		k := min(floatChunk, len(vals))
+		for i, v := range vals[:k] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf[:k*8]); err != nil {
 			return err
 		}
+		if h != nil {
+			h.Write(buf[:k*8])
+		}
+		vals = vals[k:]
 	}
 	return nil
 }
 
-func decodeMatrix(r *bufio.Reader) (*matrix.Matrix, error) {
-	nd, err := readUvarint(r)
-	if err != nil {
-		return nil, fmt.Errorf("codec: matrix dim count: %w", err)
-	}
-	if nd == 0 || nd > 64 {
-		return nil, fmt.Errorf("codec: implausible dimensionality %d", nd)
-	}
-	dims := make([]int, nd)
-	for i := range dims {
-		d, err := readUvarint(r)
-		if err != nil {
-			return nil, fmt.Errorf("codec: matrix dim %d: %w", i, err)
+// readFloats fills dst from little-endian float64 bytes, feeding the
+// raw bytes to h when non-nil.
+func readFloats(r io.Reader, dst []float64, h hash.Hash32) error {
+	var buf [floatChunk * 8]byte
+	for len(dst) > 0 {
+		k := min(floatChunk, len(dst))
+		if _, err := io.ReadFull(r, buf[:k*8]); err != nil {
+			return err
 		}
-		if d == 0 || d > matrix.MaxEntries {
-			return nil, fmt.Errorf("codec: implausible dimension size %d", d)
+		if h != nil {
+			h.Write(buf[:k*8])
 		}
-		dims[i] = int(d)
-	}
-	m, err := matrix.New(dims...)
-	if err != nil {
-		return nil, err
-	}
-	data := m.Data()
-	var buf [8]byte
-	for i := range data {
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return nil, fmt.Errorf("codec: matrix entry %d: %w", i, err)
+		for i := range dst[:k] {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
 		}
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		dst = dst[k:]
 	}
-	return m, nil
+	return nil
 }
 
-func writeString(w *bufio.Writer, s string) error {
+// writePad emits the version-2 alignment pad: one length byte plus that
+// many zeros, sized so the next write lands on an 8-byte boundary.
+func writePad(w *countWriter) error {
+	pad := byte((8 - (w.n+1)%8) % 8)
+	if err := w.WriteByte(pad); err != nil {
+		return err
+	}
+	var zeros [8]byte
+	_, err := w.Write(zeros[:pad])
+	return err
+}
+
+// skipPad consumes an alignment pad written by writePad.
+func skipPad(r reader) error {
+	pad, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if pad >= 8 {
+		return fmt.Errorf("implausible pad length %d", pad)
+	}
+	var z [8]byte
+	_, err = io.ReadFull(r, z[:pad])
+	return err
+}
+
+func equalDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func writeString(w *countWriter, s string) error {
 	writeUvarint(w, uint64(len(s)))
 	_, err := w.WriteString(s)
 	return err
 }
 
-func readString(r *bufio.Reader) (string, error) {
+func readString(r reader) (string, error) {
 	n, err := readUvarint(r)
 	if err != nil {
 		return "", err
@@ -318,12 +724,12 @@ func readString(r *bufio.Reader) (string, error) {
 	return string(buf), nil
 }
 
-func writeUvarint(w *bufio.Writer, v uint64) {
+func writeUvarint(w *countWriter, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
 	w.Write(buf[:n]) //nolint:errcheck // bufio.Writer caches the error for Flush
 }
 
-func readUvarint(r *bufio.Reader) (uint64, error) {
+func readUvarint(r io.ByteReader) (uint64, error) {
 	return binary.ReadUvarint(r)
 }

@@ -25,6 +25,11 @@ type Matrix struct {
 	dims    []int
 	strides []int
 	data    []float64
+	// pin keeps an external owner of the data slice reachable for as long
+	// as the matrix is: a matrix built by Wrap over a memory-mapped file
+	// must keep the mapping object alive, or its finalizer could unmap
+	// the pages out from under data. nil for heap-backed matrices.
+	pin any
 }
 
 // MaxEntries bounds the total size New will allocate (2^31 entries, 16 GiB
@@ -62,6 +67,40 @@ func MustNew(dims ...int) *Matrix {
 		panic(err)
 	}
 	return m
+}
+
+// Wrap builds a matrix over data without copying it: len(data) must
+// equal the product of dims. It is the zero-copy constructor behind
+// mmap-backed release reloads — the caller keeps ownership of the
+// backing memory, and pin (which may be nil) is retained for the life
+// of the matrix so a finalizer-managed owner (a memory mapping) cannot
+// be reclaimed while the matrix can still read it. Mutating a wrapped
+// matrix writes through to data; callers wrapping read-only mappings
+// must treat the matrix as immutable (Clone before any in-place
+// operation — the clone is heap-backed and drops the pin).
+func Wrap(data []float64, pin any, dims ...int) (*Matrix, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("matrix: need at least one dimension")
+	}
+	total := 1
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("matrix: dimension %d has non-positive size %d", i, d)
+		}
+		if total > MaxEntries/d {
+			return nil, fmt.Errorf("matrix: %v exceeds MaxEntries", dims)
+		}
+		total *= d
+	}
+	if total != len(data) {
+		return nil, fmt.Errorf("matrix: Wrap of %d entries over dims %v (want %d)", len(data), dims, total)
+	}
+	return &Matrix{
+		dims:    append([]int(nil), dims...),
+		strides: Strides(dims),
+		data:    data,
+		pin:     pin,
+	}, nil
 }
 
 // FromSlice builds a 1-dimensional matrix that copies v.

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package mmapfile
+
+// openOS on platforms without syscall.Mmap support is the aligned
+// read-all path: same bytes, same alignment guarantees, heap residency.
+func openOS(path string) (*File, error) {
+	return readAll(path)
+}

@@ -1,0 +1,87 @@
+// Package mmapfile memory-maps files read-only, with a portable
+// read-all fallback. It exists for one purpose: letting a spilled
+// release's summed-area table be served straight from the page cache,
+// so the paper's constant-time query evaluation (§V — every range-count
+// is O(2^d) lookups into the precomputed table) survives eviction and
+// restart without re-paying the O(domain) decode + prefix-sum rebuild.
+// A mapped release's resident cost is the pages queries actually touch,
+// and the kernel reclaims them under memory pressure — the store's
+// MaxResident budget stops being the hard ceiling on how many tenants
+// can be served at once.
+//
+// Lifetime is finalizer-managed: Open sets a finalizer that unmaps when
+// the File becomes unreachable. Callers that hand out views of Data()
+// must keep the File reachable from those views (matrix.Wrap's pin does
+// exactly this), which makes use-after-unmap unrepresentable without an
+// explicit Close to misuse.
+package mmapfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// File is a read-only view of a file's contents — either a memory
+// mapping or an aligned heap copy. The zero value is an empty file.
+type File struct {
+	data   []byte
+	mapped bool
+}
+
+// Open returns path's contents, memory-mapped where the platform
+// supports it and falling back to ReadAll where it does not (or where
+// the map call itself fails). The returned bytes are read-only in
+// either case: mutating them is undefined (a true mapping will fault).
+func Open(path string) (*File, error) {
+	return openOS(path)
+}
+
+// ReadAll loads path into an 8-byte-aligned heap buffer — the portable
+// path, and the explicit choice for callers that want the bytes off the
+// page cache's leash. Alignment is guaranteed so downstream zero-copy
+// float64 casts (codec.DecodeMapped) work identically on both paths.
+func ReadAll(path string) (*File, error) {
+	return readAll(path)
+}
+
+// Data returns the file contents. The slice must be treated as
+// read-only and must not outlive every reference to f (keep f pinned,
+// e.g. via matrix.Wrap).
+func (f *File) Data() []byte { return f.data }
+
+// Mapped reports whether Data is a true memory mapping (resident cost
+// accrues to the page cache) as opposed to a heap copy.
+func (f *File) Mapped() bool { return f.mapped }
+
+// Size returns the content length in bytes.
+func (f *File) Size() int { return len(f.data) }
+
+// readAll implements the portable path: the whole file copied into a
+// float64-backed buffer, which the Go allocator guarantees is 8-byte
+// aligned.
+func readAll(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size != int64(int(size)) || size < 0 {
+		return nil, fmt.Errorf("mmapfile: %s: size %d not addressable", path, size)
+	}
+	if size == 0 {
+		return &File{}, nil
+	}
+	words := make([]float64, (size+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := io.ReadFull(fh, buf); err != nil {
+		return nil, fmt.Errorf("mmapfile: %s: %w", path, err)
+	}
+	return &File{data: buf}, nil
+}

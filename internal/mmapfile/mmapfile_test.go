@@ -1,0 +1,65 @@
+package mmapfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"unsafe"
+)
+
+func dataAddr(b []byte) uintptr { return uintptr(unsafe.Pointer(&b[0])) }
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	want := []byte("0123456789abcdef-tail") // deliberately not 8-aligned length
+	for name, open := range map[string]func(string) (*File, error){"Open": Open, "ReadAll": ReadAll} {
+		f, err := open(writeTemp(t, want))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(f.Data(), want) {
+			t.Fatalf("%s: got %q want %q", name, f.Data(), want)
+		}
+		if f.Size() != len(want) {
+			t.Fatalf("%s: size %d want %d", name, f.Size(), len(want))
+		}
+	}
+}
+
+func TestReadAllAligned(t *testing.T) {
+	f, err := ReadAll(writeTemp(t, make([]byte, 4097)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mapped() {
+		t.Fatal("ReadAll must not report a mapping")
+	}
+	if addr := dataAddr(f.Data()); addr%8 != 0 {
+		t.Fatalf("ReadAll buffer misaligned: %#x", addr)
+	}
+}
+
+func TestOpenEmpty(t *testing.T) {
+	f, err := Open(writeTemp(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 0 || f.Mapped() {
+		t.Fatalf("empty file: size=%d mapped=%v", f.Size(), f.Mapped())
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

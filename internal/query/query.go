@@ -293,6 +293,24 @@ func NewEvaluatorWorkers(m *matrix.Matrix, workers int) *Evaluator {
 	return &Evaluator{prefix: p, total: total}
 }
 
+// NewEvaluatorFromTable builds an evaluator directly over an already
+// computed summed-area table — zero prefix-sum work. prefix is adopted,
+// not copied, and must be the exact table NewEvaluator would have built
+// (Prefix exports it; the durable format v2 persists it with a
+// checksum), and total the matching Total. This is the O(1)-reload hook:
+// a spilled release whose table survived on disk reconstructs its
+// evaluator without touching the raw matrix, so the table may be backed
+// by a read-only memory mapping (matrix.Wrap) — the evaluator never
+// mutates it.
+func NewEvaluatorFromTable(prefix *matrix.Matrix, total float64) *Evaluator {
+	return &Evaluator{prefix: prefix, total: total}
+}
+
+// Prefix exports the evaluator's summed-area table — the table-
+// persistence hook the durable format v2 encodes. The returned matrix
+// is the evaluator's own backing and MUST NOT be mutated.
+func (e *Evaluator) Prefix() *matrix.Matrix { return e.prefix }
+
 // Count answers the range-count query.
 func (e *Evaluator) Count(q Query) (float64, error) {
 	return e.prefix.RangeSum(q.lo, q.hi)

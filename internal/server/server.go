@@ -332,20 +332,28 @@ type summary struct {
 	Attrs     []string `json:"attributes"`
 	Workers   int      `json:"workers"`
 	Resident  bool     `json:"resident"`
+	// HeapBytes/MappedBytes split the release's resident float64 backing
+	// between process heap and memory-mapped spill-file pages — the
+	// observability MaxResident tuning needs (a mapped release's true
+	// cost is page-cache pages, not heap).
+	HeapBytes   int64 `json:"heap_bytes"`
+	MappedBytes int64 `json:"mapped_bytes"`
 }
 
 func stubSummary(st store.Stub) summary {
 	return summary{
-		ID:        st.ID,
-		Mechanism: st.Meta.Mechanism,
-		Epsilon:   st.Meta.Epsilon,
-		Rho:       st.Meta.Rho,
-		Lambda:    st.Meta.Lambda,
-		Bound:     st.Meta.Bound,
-		Entries:   st.Entries,
-		Attrs:     st.Attrs,
-		Workers:   st.Workers,
-		Resident:  st.Resident,
+		ID:          st.ID,
+		Mechanism:   st.Meta.Mechanism,
+		Epsilon:     st.Meta.Epsilon,
+		Rho:         st.Meta.Rho,
+		Lambda:      st.Meta.Lambda,
+		Bound:       st.Meta.Bound,
+		Entries:     st.Entries,
+		Attrs:       st.Attrs,
+		Workers:     st.Workers,
+		Resident:    st.Resident,
+		HeapBytes:   st.HeapBytes,
+		MappedBytes: st.MappedBytes,
 	}
 }
 
@@ -461,7 +469,9 @@ func (s *Server) runPublish(w http.ResponseWriter, req *http.Request, spec publi
 
 // payloadSummary builds the created-release summary from data in hand
 // rather than read back from the store: a freshly-put release is
-// resident by definition.
+// resident by definition, and its backing — noisy matrix plus the
+// summed-area table the store builds on Put — is entirely heap (mapped
+// pages only appear on spill reload).
 func payloadSummary(id string, p *codec.Payload, workers int) summary {
 	return summary{
 		ID:        id,
@@ -474,6 +484,7 @@ func payloadSummary(id string, p *codec.Payload, workers int) summary {
 		Attrs:     allNames(p.Schema),
 		Workers:   workers,
 		Resident:  true,
+		HeapBytes: 2 * 8 * int64(p.Noisy.Len()),
 	}
 }
 
@@ -925,23 +936,45 @@ type nodeIdentity struct {
 	Version   string  `json:"version"`
 }
 
+// releaseResidency is one row of /stats' "residency" list: where a
+// release's resident bytes live. Spilled releases report zeros — their
+// cost is a file, not memory.
+type releaseResidency struct {
+	ID          string `json:"id"`
+	Resident    bool   `json:"resident"`
+	HeapBytes   int64  `json:"heap_bytes"`
+	MappedBytes int64  `json:"mapped_bytes"`
+}
+
 // handleStats reports store accounting with the ledger's counters
-// nested under "ledger", the node's identity under "node", and — when
-// clustered — the ring membership version and repair counters under
-// "ring"; the store fields stay at the top level, so pre-ledger clients
-// decoding into store.Stats keep working.
+// nested under "ledger", the node's identity under "node", per-release
+// resident bytes (mapped vs heap — the MaxResident tuning signal) under
+// "residency", and — when clustered — the ring membership version and
+// repair counters under "ring"; the store fields stay at the top level,
+// so pre-ledger clients decoding into store.Stats keep working.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	stubs := s.store.List()
+	residency := make([]releaseResidency, 0, len(stubs))
+	for _, st := range stubs {
+		residency = append(residency, releaseResidency{
+			ID:          st.ID,
+			Resident:    st.Resident,
+			HeapBytes:   st.HeapBytes,
+			MappedBytes: st.MappedBytes,
+		})
+	}
 	writeJSON(w, http.StatusOK, struct {
 		store.Stats
-		Ledger ledger.Stats `json:"ledger"`
-		Node   nodeIdentity `json:"node"`
-		Ring   any          `json:"ring,omitempty"`
+		Ledger    ledger.Stats       `json:"ledger"`
+		Node      nodeIdentity       `json:"node"`
+		Residency []releaseResidency `json:"residency"`
+		Ring      any                `json:"ring,omitempty"`
 	}{s.store.Stats(), s.ledger.Stats(), nodeIdentity{
 		Name:      s.nodeName,
 		StartTime: s.started.UTC().Format(time.RFC3339),
 		UptimeSec: time.Since(s.started).Seconds(),
 		Version:   s.version,
-	}, s.ringStats()})
+	}, residency, s.ringStats()})
 }
 
 // ParseQuery parses the q= syntax. It is a thin alias kept for

@@ -1,12 +1,16 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/matrix"
 	"repro/internal/query"
 )
 
@@ -141,3 +145,143 @@ func BenchmarkQueries8TenantsSingleMutex(b *testing.B) { benchQueries(b, newMute
 func BenchmarkMixed8TenantsSharded(b *testing.B) { benchMixed(b, newShardedForBench(b)) }
 
 func BenchmarkMixed8TenantsSingleMutex(b *testing.B) { benchMixed(b, newMutexStore()) }
+
+// --- reload time-to-first-query -----------------------------------------
+//
+// The mmap tentpole's headline number: how long from Get() on a spilled
+// release to its first answered query. Three spill-file regimes:
+//
+//   Mapped  — format v2, memory-mapped: the evaluator is constructed
+//             directly over the file's summed-area table; the only
+//             per-reload work is decoding the (tiny) header.
+//   Decode  — format v2, NoMMap: the whole file is re-decoded
+//             sequentially, but the durable table still spares the
+//             prefix-sum rebuild.
+//   Rebuild — format v1 (the pre-v2 on-disk state): decode plus a full
+//             prefix-sum rebuild — what every reload cost before.
+//
+// Eviction between iterations is excluded from the timing via
+// StopTimer, so ns/op is purely reload + one Count.
+
+// bigBenchPayload builds a single-attribute release with n matrix
+// entries — large enough that decode and prefix-sum work dominate the
+// reload, as they do for production-sized releases.
+func bigBenchPayload(b *testing.B, n int) *codec.Payload {
+	b.Helper()
+	schema, err := dataset.NewSchema(dataset.OrdinalAttr("V", n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := matrix.New(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := m.Data()
+	for i := range data {
+		data[i] = float64(i%97) * 0.5
+	}
+	return &codec.Payload{
+		Meta:   codec.Meta{Mechanism: "privelet+", Epsilon: 1, Rho: 2, Lambda: 4, Bound: 8},
+		Schema: schema,
+		Noisy:  m,
+	}
+}
+
+// downgradeSpill rewrites id's spill file in format v1 (no table),
+// recreating what a pre-v2 node left on disk.
+func downgradeSpill(b *testing.B, s *Store, id string) {
+	b.Helper()
+	p, err := s.readSpill(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Table, p.Total = nil, 0
+	var buf bytes.Buffer
+	if err := codec.Encode(&buf, p); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(s.spillPath(id), buf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchmarkReloadTTFQ(b *testing.B, noMMap, v1 bool) {
+	const entries = 1 << 18
+	s, err := New(Config{MaxResident: 1, Dir: b.TempDir(), NoMMap: noMMap})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := bigBenchPayload(b, entries)
+	if err := s.Put("big", p, 1); err != nil {
+		b.Fatal(err)
+	}
+	q, err := query.NewBuilder(p.Schema).Range("V", 100, entries-100).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Put("fill0", testPayload(b, 0), 1); err != nil {
+		b.Fatal(err) // evicts big
+	}
+	if v1 {
+		downgradeSpill(b, s, "big")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, err := s.Get("big")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rel.Eval.Count(q); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := s.Put(fmt.Sprintf("fill%d", i+1), testPayload(b, uint64(i)), 1); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkReloadTTFQMapped(b *testing.B)  { benchmarkReloadTTFQ(b, false, false) }
+func BenchmarkReloadTTFQDecode(b *testing.B)  { benchmarkReloadTTFQ(b, true, false) }
+func BenchmarkReloadTTFQRebuild(b *testing.B) { benchmarkReloadTTFQ(b, true, true) }
+
+// --- restart recovery ----------------------------------------------------
+//
+// New() over a directory of spill files, warm (MaxResident covers every
+// release). V2 files hand recovery their tables; V1 files force a
+// prefix-sum rebuild per release.
+
+func benchmarkRecovery(b *testing.B, v1 bool) {
+	const k, entries = 4, 1 << 16
+	dir := b.TempDir()
+	seed, err := New(Config{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if err := seed.Put(fmt.Sprintf("r%d", i), bigBenchPayload(b, entries), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if v1 {
+		for i := 0; i < k; i++ {
+			downgradeSpill(b, seed, fmt.Sprintf("r%d", i))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(Config{Dir: dir, MaxResident: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() != k {
+			b.Fatalf("recovery found %d releases, want %d", s.Len(), k)
+		}
+	}
+}
+
+func BenchmarkRecoveryV2(b *testing.B) { benchmarkRecovery(b, false) }
+func BenchmarkRecoveryV1(b *testing.B) { benchmarkRecovery(b, true) }

@@ -1,8 +1,10 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"log"
 
 	"repro/internal/codec"
 )
@@ -21,23 +23,32 @@ func EncodeRelease(w io.Writer, p *codec.Payload) error {
 }
 
 // DecodeRelease reads a release payload previously written by
-// EncodeRelease (or any other producer of the shared format).
+// EncodeRelease (or any other producer of the shared format). Like
+// codec.Decode, a format-v2 stream whose summed-area table section is
+// unreadable returns the intact payload (Table nil) alongside an error
+// wrapping codec.ErrTable — callers that can rebuild the table (the
+// store, persist.Load) treat that as a degraded success.
 func DecodeRelease(r io.Reader) (*codec.Payload, error) {
 	return codec.Decode(r)
 }
 
 // Ingest is the replica-ingest entry point: it decodes an encoded
-// release from r and stores it under id, riding the same decode →
-// evaluator-rebuild path a restart or a spilled-release reload uses —
-// so a replica pushed over the wire answers every query bit-identically
-// to the node that published it. workers bounds the evaluator rebuild
-// like Config.Parallelism does for reloads. A taken ID returns an error
-// wrapping ErrDuplicate (releases are immutable, so re-pushing an
-// existing replica is a no-op the caller may treat as success). A
-// tombstoned ID returns an error wrapping ErrDeleted: the release was
-// deliberately removed here, and replication must not resurrect it —
-// the pusher should delete its own copy instead (only an explicit Put,
-// i.e. a fresh publish reusing the ID, clears the tombstone).
+// release from r and stores it under id. Format-v2 bytes carry the
+// publisher's summed-area table, so ingesting a replica costs no
+// prefix-sum work — the pushed evaluator state is adopted directly,
+// and answers are bit-identical to the node that published it (the
+// table build is deterministic, so adopted and rebuilt tables agree
+// float64-exactly). Format-v1 bytes (a pre-v2 publisher) and v2 bytes
+// whose table section fails its checksum in transit fall back to the
+// rebuild path, counted in the rebuilds stat. workers bounds that
+// rebuild like Config.Parallelism does for reloads. A taken ID returns
+// an error wrapping ErrDuplicate (releases are immutable, so
+// re-pushing an existing replica is a no-op the caller may treat as
+// success). A tombstoned ID returns an error wrapping ErrDeleted: the
+// release was deliberately removed here, and replication must not
+// resurrect it — the pusher should delete its own copy instead (only
+// an explicit Put, i.e. a fresh publish reusing the ID, clears the
+// tombstone).
 func (s *Store) Ingest(id string, r io.Reader, workers int) error {
 	if err := validateID(id); err != nil {
 		return err
@@ -47,7 +58,13 @@ func (s *Store) Ingest(id string, r io.Reader, workers int) error {
 	}
 	p, err := DecodeRelease(r)
 	if err != nil {
-		return fmt.Errorf("store: ingesting %q: %w", id, err)
+		if p == nil || !errors.Is(err, codec.ErrTable) {
+			return fmt.Errorf("store: ingesting %q: %w", id, err)
+		}
+		log.Printf("store: ingesting %q: durable table unusable, rebuilding: %v", id, err)
+	}
+	if p.Table == nil {
+		s.rebuilds.Add(1)
 	}
 	return s.Put(id, p, workers)
 }

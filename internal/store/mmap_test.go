@@ -1,0 +1,427 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/query"
+)
+
+// randomPayload builds a multi-attribute release whose schema and noisy
+// values are a deterministic function of the rng — calling it twice with
+// equally-seeded rngs yields float64-identical payloads, which is what
+// lets the equivalence test hand "the same" release to three stores
+// without sharing mutable state between them.
+func randomPayload(t testing.TB, rnd *rand.Rand) *codec.Payload {
+	t.Helper()
+	nattr := 1 + rnd.Intn(3)
+	attrs := make([]dataset.Attribute, nattr)
+	dims := make([]int, nattr)
+	for i := range attrs {
+		dims[i] = 2 + rnd.Intn(7)
+		attrs[i] = dataset.OrdinalAttr(fmt.Sprintf("A%d", i), dims[i])
+	}
+	schema, err := dataset.NewSchema(attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := matrix.New(dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := m.Data()
+	for i := range data {
+		data[i] = rnd.NormFloat64() * 100
+	}
+	return &codec.Payload{
+		Meta:   codec.Meta{Mechanism: "privelet+", Epsilon: 0.9, Rho: 3, Lambda: 5, Bound: 2},
+		Schema: schema,
+		Noisy:  m,
+	}
+}
+
+// randomQueries draws n range queries constraining every attribute.
+func randomQueries(t testing.TB, schema *dataset.Schema, rnd *rand.Rand, n int) []query.Query {
+	t.Helper()
+	qs := make([]query.Query, 0, n)
+	for len(qs) < n {
+		b := query.NewBuilder(schema)
+		for i := 0; i < schema.NumAttrs(); i++ {
+			a := schema.Attr(i)
+			lo := rnd.Intn(a.Size)
+			hi := lo + rnd.Intn(a.Size-lo)
+			b = b.Range(a.Name, lo, hi)
+		}
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+// TestMMapReloadEquivalence is the property test behind the mmap
+// tentpole: over random schemas, matrices and query workloads, a
+// release served from a memory-mapped spilled table, one served from a
+// sequentially re-decoded spill (NoMMap), and one that was never
+// evicted must agree on every answer float64-exactly — at varying
+// worker counts, across repeated evict/reload churn.
+func TestMMapReloadEquivalence(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			seed := int64(1000 + trial)
+			mk := func() *codec.Payload { return randomPayload(t, rand.New(rand.NewSource(seed))) }
+			fill := func(i int) *codec.Payload {
+				return randomPayload(t, rand.New(rand.NewSource(seed+int64(100+i))))
+			}
+
+			keep, err := New(Config{Shards: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mm, err := New(Config{Shards: 2, MaxResident: 1, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nm, err := New(Config{Shards: 2, MaxResident: 1, Dir: t.TempDir(), NoMMap: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			workers := 1 + trial%4
+			for _, s := range []*Store{keep, mm, nm} {
+				if err := s.Put("main", mk(), workers); err != nil {
+					t.Fatal(err)
+				}
+			}
+			qrnd := rand.New(rand.NewSource(seed ^ 0x5a5a))
+			schema := mk().Schema
+			qs := randomQueries(t, schema, qrnd, 25)
+
+			relKeep, err := keep.Get("main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := counts(t, relKeep, qs)
+
+			// Several churn rounds: each filler Put evicts "main", each
+			// Get reloads it — mmap-decoded in mm, re-decoded in nm.
+			for round := 0; round < 3; round++ {
+				for si, s := range []*Store{mm, nm} {
+					if err := s.Put(fmt.Sprintf("fill%d", round), fill(round), 1); err != nil {
+						t.Fatal(err)
+					}
+					rel, err := s.Get("main")
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := counts(t, rel, qs)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("round %d store %d query %d: reloaded answer %x != never-evicted %x",
+								round, si, i, got[i], want[i])
+						}
+					}
+				}
+			}
+			// Every reload found a durable table: zero avoidable
+			// prefix-sum builds in either store, and the mmap store's
+			// evaluators came off the mapping.
+			for _, s := range []*Store{mm, nm} {
+				if st := s.Stats(); st.Rebuilds != 0 || st.Reloads < 3 {
+					t.Fatalf("Stats = %+v, want Rebuilds 0 and >=3 Reloads", st)
+				}
+			}
+			if st := mm.Stats(); st.MMapHits < 3 {
+				t.Fatalf("mmap store Stats = %+v, want >=3 MMapHits", st)
+			}
+			if st := nm.Stats(); st.MMapHits != 0 {
+				t.Fatalf("NoMMap store Stats = %+v, want 0 MMapHits", st)
+			}
+		})
+	}
+}
+
+// TestSpillCorruptionFallsBackToRebuild damages a spilled release's
+// table section on disk — a flipped bit, then a truncated tail — and
+// checks the reload notices (checksum / bounds), quietly rebuilds from
+// the intact matrix section, counts the rebuild, and still answers
+// float64-identically. Both decode paths are exercised.
+func TestSpillCorruptionFallsBackToRebuild(t *testing.T) {
+	for _, noMMap := range []bool{false, true} {
+		name := "mmap"
+		if noMMap {
+			name = "nommap"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := New(Config{MaxResident: 1, Dir: t.TempDir(), NoMMap: noMMap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("x", testPayload(t, 7), 1); err != nil {
+				t.Fatal(err)
+			}
+			rel, err := s.Get("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := probeQueries(t, rel.Payload.Schema)
+			want := counts(t, rel, qs)
+
+			damage := []struct {
+				name string
+				mut  func(raw []byte) []byte
+			}{
+				{"bitflip", func(raw []byte) []byte {
+					raw[len(raw)-6] ^= 0x20 // inside crc/end trailer
+					return raw
+				}},
+				{"truncated", func(raw []byte) []byte {
+					return raw[:len(raw)-10]
+				}},
+			}
+			for _, d := range damage {
+				t.Run(d.name, func(t *testing.T) {
+					if err := s.Put("fill-"+d.name, testPayload(t, 8), 1); err != nil {
+						t.Fatal(err) // evicts x
+					}
+					raw, err := os.ReadFile(s.spillPath("x"))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(s.spillPath("x"), d.mut(raw), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					base := s.Stats().Rebuilds
+					rel2, err := s.Get("x")
+					if err != nil {
+						t.Fatalf("reload over %s spill: %v", d.name, err)
+					}
+					got := counts(t, rel2, qs)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("query %d after %s: %x != %x", i, d.name, got[i], want[i])
+						}
+					}
+					if after := s.Stats().Rebuilds; after != base+1 {
+						t.Fatalf("Rebuilds %d -> %d, want +1 (the fallback must be counted)", base, after)
+					}
+					// Restore the healthy file for the next damage case.
+					if err := os.WriteFile(s.spillPath("x"), raw, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestRebuildsFlatAcrossChurn is the acceptance check for the O(1)
+// reload guarantee: a store churning v2 spill files through eviction
+// and reload performs zero prefix-sum rebuilds, no matter how many
+// cycles — every reload adopts the durable table.
+func TestRebuildsFlatAcrossChurn(t *testing.T) {
+	s, err := New(Config{MaxResident: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", testPayload(t, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", testPayload(t, 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Get("a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get("b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Reloads < 20 {
+		t.Fatalf("churn produced only %d reloads", st.Reloads)
+	}
+	if st.Rebuilds != 0 {
+		t.Fatalf("Rebuilds = %d after %d reloads, want 0 (O(1) reload)", st.Rebuilds, st.Reloads)
+	}
+	if st.MMapHits < st.Reloads {
+		t.Fatalf("MMapHits = %d < Reloads = %d, want every reload mapped", st.MMapHits, st.Reloads)
+	}
+}
+
+// TestV1SpillRecovery replaces a spill file with the format-v1 encoding
+// of the same release (what a pre-v2 node left on disk) and restarts: a
+// new store must recover it, answer identically, and count exactly the
+// one rebuild the missing durable table forces.
+func TestV1SpillRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("old", testPayload(t, 11), 1); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := s1.Get("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := probeQueries(t, rel.Payload.Schema)
+	want := counts(t, rel, qs)
+
+	bare := *rel.Payload
+	bare.Table, bare.Total = nil, 0
+	var v1 bytes.Buffer
+	if err := codec.Encode(&v1, &bare); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s1.spillPath("old"), v1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{Dir: dir, MaxResident: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Rebuilds != 1 || st.MMapHits != 0 {
+		t.Fatalf("after v1 recovery Stats = %+v, want exactly 1 rebuild, 0 mmap hits", st)
+	}
+	rel2, err := s2.Get("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := counts(t, rel2, qs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d after v1 recovery: %x != %x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestIngestVersions covers the replica-ingest matrix: v2 bytes adopt
+// the shipped table (no rebuild), v1 bytes and tail-corrupted v2 bytes
+// fall back to a counted rebuild — all three answering identically.
+func TestIngestVersions(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPayload(t, 21)
+	qs := probeQueries(t, p.Schema)
+	wantEval := query.NewEvaluator(p.Noisy.Clone())
+
+	var v1 bytes.Buffer
+	if err := codec.Encode(&v1, p); err != nil { // Table nil -> format v1
+		t.Fatal(err)
+	}
+	pre := p.Noisy.Clone()
+	pre.PrefixSumExec(1)
+	p.Table, p.Total = pre, p.Noisy.Total()
+	var v2 bytes.Buffer
+	if err := codec.Encode(&v2, p); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), v2.Bytes()...)
+	corrupt[len(corrupt)-6] ^= 0x20
+
+	cases := []struct {
+		id       string
+		raw      []byte
+		rebuilds int64 // cumulative expectation after this ingest
+	}{
+		{"from-v2", v2.Bytes(), 0},
+		{"from-v1", v1.Bytes(), 1},
+		{"from-corrupt", corrupt, 2},
+	}
+	for _, c := range cases {
+		if err := s.Ingest(c.id, bytes.NewReader(c.raw), 2); err != nil {
+			t.Fatalf("Ingest(%s): %v", c.id, err)
+		}
+		if got := s.Stats().Rebuilds; got != c.rebuilds {
+			t.Fatalf("after Ingest(%s): Rebuilds = %d, want %d", c.id, got, c.rebuilds)
+		}
+		rel, err := s.Get(c.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			want, err := wantEval.Count(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rel.Eval.Count(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("Ingest(%s) query %d: %x != %x", c.id, i, got, want)
+			}
+		}
+	}
+}
+
+// TestResidencyAccounting checks the heap/mapped byte split on Stats
+// and Describe: a fresh Put is all heap, a mapped reload is all file
+// pages, a NoMMap reload is back to heap, and eviction zeroes both.
+func TestResidencyAccounting(t *testing.T) {
+	// testPayload: 8 entries noisy + 8 entries table = 128 bytes.
+	const wantBytes = 2 * 8 * 8
+	for _, noMMap := range []bool{false, true} {
+		name := "mmap"
+		if noMMap {
+			name = "nommap"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := New(Config{MaxResident: 1, Dir: t.TempDir(), NoMMap: noMMap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("a", testPayload(t, 1), 1); err != nil {
+				t.Fatal(err)
+			}
+			if st := s.Stats(); st.HeapBytes != wantBytes || st.MappedBytes != 0 {
+				t.Fatalf("after Put: heap %d mapped %d, want %d/0", st.HeapBytes, st.MappedBytes, wantBytes)
+			}
+			if err := s.Put("b", testPayload(t, 2), 1); err != nil {
+				t.Fatal(err) // evicts a
+			}
+			stub, err := s.Describe("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stub.Resident || stub.HeapBytes != 0 || stub.MappedBytes != 0 {
+				t.Fatalf("evicted stub = %+v, want zero residency", stub)
+			}
+			if _, err := s.Get("a"); err != nil {
+				t.Fatal(err)
+			}
+			stub, err = s.Describe("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if noMMap {
+				if stub.HeapBytes != wantBytes || stub.MappedBytes != 0 {
+					t.Fatalf("NoMMap reload stub = %+v, want all heap", stub)
+				}
+			} else {
+				if stub.MappedBytes != wantBytes || stub.HeapBytes != 0 {
+					t.Fatalf("mapped reload stub = %+v, want all mapped", stub)
+				}
+			}
+			st := s.Stats()
+			if st.HeapBytes != stub.HeapBytes || st.MappedBytes != stub.MappedBytes {
+				t.Fatalf("Stats %+v disagrees with the lone resident stub %+v", st, stub)
+			}
+		})
+	}
+}

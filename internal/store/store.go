@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/codec"
+	"repro/internal/mmapfile"
 	"repro/internal/query"
 )
 
@@ -117,6 +118,15 @@ type Config struct {
 	// eviction keeps it (the cache is small and bounded; the matrix it
 	// spares lookups into is neither). ≤ 0 disables caching.
 	AnswerCache int
+	// NoMMap disables memory-mapped reload. By default (false) a
+	// spilled release whose file carries the durable summed-area table
+	// (codec format v2) reloads by memory-mapping that section and
+	// serving queries straight from the page cache — no decode of the
+	// float64 sections, no prefix-sum rebuild. With NoMMap set, reloads
+	// fall back to the sequential decode, which still reuses the
+	// persisted table (zero prefix-sum work) but copies it onto the
+	// heap. Answers are float64-identical on every path.
+	NoMMap bool
 }
 
 // Release is the resident view of a stored release, as returned by Get
@@ -165,6 +175,14 @@ type Stub struct {
 	// Resident reports whether the release currently holds its matrix
 	// and evaluator in memory.
 	Resident bool
+	// HeapBytes and MappedBytes split the release's resident float64
+	// backing (noisy matrix + summed-area table) between process heap
+	// and memory-mapped spill-file pages. Both are zero while the
+	// release is not resident; a mapped release's MappedBytes is an
+	// upper bound — actual residency is the pages queries have touched,
+	// and the kernel reclaims them under pressure.
+	HeapBytes   int64
+	MappedBytes int64
 }
 
 // Stats is a snapshot of the store's accounting, surfaced by the
@@ -172,14 +190,27 @@ type Stub struct {
 // every release's answer cache (hits/misses/evictions keep counting
 // across release removals; Entries is the current total).
 type Stats struct {
-	Shards               int   `json:"shards"`
-	MaxResident          int   `json:"max_resident"`
-	Releases             int   `json:"releases"`
-	Resident             int   `json:"resident"`
-	Spilled              int   `json:"spilled"`
-	Evictions            int64 `json:"evictions"`
-	Reloads              int64 `json:"reloads"`
-	Removals             int64 `json:"removals"`
+	Shards      int   `json:"shards"`
+	MaxResident int   `json:"max_resident"`
+	Releases    int   `json:"releases"`
+	Resident    int   `json:"resident"`
+	Spilled     int   `json:"spilled"`
+	Evictions   int64 `json:"evictions"`
+	Reloads     int64 `json:"reloads"`
+	Removals    int64 `json:"removals"`
+	// MMapHits counts loads (reload or recovery warm-up) whose
+	// evaluator was constructed over a memory-mapped summed-area table;
+	// Rebuilds counts loads that had to re-run the prefix-sum build
+	// because no usable durable table existed (format-v1 file, failed
+	// checksum, or a table-less ingest). A store serving v2 spill files
+	// keeps Rebuilds flat across evict/reload churn — that flatness is
+	// the O(1)-reload guarantee, asserted in tests.
+	MMapHits int64 `json:"mmap_hits"`
+	Rebuilds int64 `json:"rebuilds"`
+	// MappedBytes/HeapBytes aggregate the per-release residency split
+	// (see Stub.MappedBytes) over every resident release.
+	MappedBytes          int64 `json:"mapped_bytes"`
+	HeapBytes            int64 `json:"heap_bytes"`
 	Tombstones           int   `json:"tombstones"`
 	AnswerCacheMax       int   `json:"answer_cache_max"`
 	AnswerCacheEntries   int   `json:"answer_cache_entries"`
@@ -203,6 +234,8 @@ type Store struct {
 	evictions atomic.Int64
 	reloads   atomic.Int64
 	removals  atomic.Int64
+	mmapHits  atomic.Int64
+	rebuilds  atomic.Int64
 	// cacheCtr aggregates answer-cache traffic across every release's
 	// cache, so /stats totals survive individual release removal.
 	cacheCtr query.CacheCounters
@@ -241,6 +274,11 @@ type entry struct {
 	// spilled records that the release's disk copy exists; eviction
 	// must never drop an entry before its spill file is durable.
 	spilled bool
+	// heapBytes/mappedBytes split the resident float64 backing between
+	// process heap and mapped spill-file pages (see Stub); zero while
+	// not resident. Guarded by the shard mutex like payload.
+	heapBytes   int64
+	mappedBytes int64
 }
 
 // New builds a store. With cfg.Dir set it creates the directory if
@@ -317,15 +355,24 @@ func (s *Store) recover() error {
 			os.Remove(filepath.Join(s.cfg.Dir, name))
 			continue
 		}
-		p, err := s.readSpill(id)
+		p, info, err := s.loadPayload(id)
 		if err != nil {
 			log.Printf("store: skipping unreadable spill file %s: %v", name, err)
 			continue
 		}
 		e := &entry{id: id, stub: makeStub(id, p, 0), spilled: true, cache: s.newAnswerCache()}
 		if s.cfg.MaxResident > 0 && s.resident.Load() < int64(s.cfg.MaxResident) {
+			// Warm entries materialize their evaluator — free when the
+			// file carried the table, a counted rebuild otherwise. Cold
+			// entries drop the payload (and any mapping) here: with a
+			// v2 archive the stub-building decode above only touched
+			// header pages, so opening a large archive stays cheap.
+			e.eval = s.evaluatorFor(p, true)
 			e.payload = p
-			e.eval = query.NewEvaluatorWorkers(p.Noisy, s.cfg.Parallelism)
+			e.heapBytes, e.mappedBytes = residency(p, info)
+			if info.Table {
+				s.mmapHits.Add(1)
+			}
 			e.touch(s)
 			s.resident.Add(1)
 		}
@@ -349,6 +396,11 @@ func (s *Store) recover() error {
 // withdrawn and the error returned (a concurrent Get in that window may
 // have answered from the in-memory copy, as if the release had existed
 // briefly).
+//
+// Put adopts p: when p arrives table-less it populates p.Table/p.Total
+// with the evaluator's summed-area table before the write-through, so
+// every spill file is written in format v2 and later reloads pay zero
+// prefix-sum work.
 func (s *Store) Put(id string, p *codec.Payload, workers int) error {
 	if err := validateID(id); err != nil {
 		return err
@@ -360,9 +412,10 @@ func (s *Store) Put(id string, p *codec.Payload, workers int) error {
 		id:      id,
 		stub:    makeStub(id, p, workers),
 		payload: p,
-		eval:    query.NewEvaluatorWorkers(p.Noisy, s.cfg.Parallelism),
+		eval:    s.evaluatorFor(p, false),
 		cache:   s.newAnswerCache(),
 	}
+	e.heapBytes, e.mappedBytes = residency(p, codec.MapInfo{})
 	e.touch(s)
 	sh := s.shard(id)
 	sh.mu.Lock()
@@ -510,6 +563,7 @@ func (s *Store) Describe(id string) (Stub, error) {
 	}
 	st := e.stub
 	st.Resident = e.payload != nil
+	st.HeapBytes, st.MappedBytes = e.heapBytes, e.mappedBytes
 	return st, nil
 }
 
@@ -534,6 +588,7 @@ func (s *Store) ListPrefix(prefix string) []Stub {
 			}
 			st := e.stub
 			st.Resident = e.payload != nil
+			st.HeapBytes, st.MappedBytes = e.heapBytes, e.mappedBytes
 			out = append(out, st)
 		}
 		sh.mu.RUnlock()
@@ -655,15 +710,18 @@ func (s *Store) Stats() Stats {
 	total := s.Len()
 	res := int(s.resident.Load())
 	cached := 0
-	if s.cfg.AnswerCache > 0 {
-		for i := range s.shards {
-			sh := &s.shards[i]
-			sh.mu.RLock()
-			for _, e := range sh.entries {
+	var mappedB, heapB int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			if s.cfg.AnswerCache > 0 {
 				cached += e.cache.Len()
 			}
-			sh.mu.RUnlock()
+			mappedB += e.mappedBytes
+			heapB += e.heapBytes
 		}
+		sh.mu.RUnlock()
 	}
 	return Stats{
 		Shards:               len(s.shards),
@@ -674,6 +732,10 @@ func (s *Store) Stats() Stats {
 		Evictions:            s.evictions.Load(),
 		Reloads:              s.reloads.Load(),
 		Removals:             s.removals.Load(),
+		MMapHits:             s.mmapHits.Load(),
+		Rebuilds:             s.rebuilds.Load(),
+		MappedBytes:          mappedB,
+		HeapBytes:            heapB,
 		Tombstones:           s.tombstoneCount(),
 		AnswerCacheMax:       max(s.cfg.AnswerCache, 0),
 		AnswerCacheEntries:   cached,
@@ -708,7 +770,7 @@ func (s *Store) reload(sh *shard, e *entry) (Release, error) {
 		return rel, nil
 	}
 	sh.mu.RUnlock()
-	p, err := s.readSpill(e.id)
+	p, info, err := s.loadPayload(e.id)
 	if err != nil {
 		if os.IsNotExist(err) {
 			// Remove won the race after our membership check and took
@@ -717,7 +779,10 @@ func (s *Store) reload(sh *shard, e *entry) (Release, error) {
 		}
 		return Release{}, fmt.Errorf("store: reloading %q: %w", e.id, err)
 	}
-	eval := query.NewEvaluatorWorkers(p.Noisy, s.cfg.Parallelism)
+	eval := s.evaluatorFor(p, true)
+	if info.Table {
+		s.mmapHits.Add(1)
+	}
 	sh.mu.Lock()
 	if sh.entries[e.id] != e {
 		// Removed between the read and the install: do not resurrect the
@@ -726,6 +791,7 @@ func (s *Store) reload(sh *shard, e *entry) (Release, error) {
 		return Release{}, fmt.Errorf("store: %q: %w", e.id, ErrNotFound)
 	}
 	e.payload, e.eval = p, eval
+	e.heapBytes, e.mappedBytes = residency(p, info)
 	sh.mu.Unlock()
 	e.touch(s)
 	s.resident.Add(1)
@@ -786,6 +852,7 @@ func (s *Store) evictOne() bool {
 		return true
 	}
 	victim.payload, victim.eval = nil, nil
+	victim.heapBytes, victim.mappedBytes = 0, 0
 	victimShard.mu.Unlock()
 	s.resident.Add(-1)
 	s.evictions.Add(1)
@@ -909,4 +976,77 @@ func (s *Store) readSpill(id string) (*codec.Payload, error) {
 	}
 	defer f.Close()
 	return DecodeRelease(f)
+}
+
+// loadPayload reads id's spill file, preferring the memory-mapped path
+// (Config.NoMMap off): the file is mapped and decoded zero-copy, so the
+// returned payload's float64 sections are views over page-cache-backed
+// file pages (the MapInfo says which). With NoMMap, or for a format-v1
+// file, the sections are heap copies. Either way, a spill file whose
+// durable table failed its checksum comes back table-less with a log
+// line — the caller's evaluatorFor then rebuilds from the (intact)
+// matrix instead of serving a corrupt table.
+func (s *Store) loadPayload(id string) (*codec.Payload, codec.MapInfo, error) {
+	if !s.cfg.NoMMap {
+		f, err := mmapfile.Open(s.spillPath(id))
+		if err != nil {
+			return nil, codec.MapInfo{}, err
+		}
+		p, info, err := codec.DecodeMapped(f.Data(), f)
+		if err != nil {
+			if p != nil && errors.Is(err, codec.ErrTable) {
+				log.Printf("store: %s: durable table unusable, rebuilding: %v", id, err)
+				return p, info, nil
+			}
+			return nil, codec.MapInfo{}, err
+		}
+		return p, info, nil
+	}
+	p, err := s.readSpill(id)
+	if err != nil {
+		if p != nil && errors.Is(err, codec.ErrTable) {
+			log.Printf("store: %s: durable table unusable, rebuilding: %v", id, err)
+			return p, codec.MapInfo{}, nil
+		}
+		return nil, codec.MapInfo{}, err
+	}
+	return p, codec.MapInfo{}, nil
+}
+
+// evaluatorFor returns p's evaluator: free (query.NewEvaluatorFromTable)
+// when p carries its durable summed-area table, a prefix-sum rebuild
+// otherwise — in which case the rebuilt table is written back into p,
+// so a later /export or replication of this payload ships format v2.
+// countRebuild marks the avoidable builds (reload, recovery, ingest);
+// first-publish builds pass false, keeping the rebuilds stat a pure
+// measure of work the durable table should have saved.
+func (s *Store) evaluatorFor(p *codec.Payload, countRebuild bool) *query.Evaluator {
+	if p.Table != nil {
+		return query.NewEvaluatorFromTable(p.Table, p.Total)
+	}
+	eval := query.NewEvaluatorWorkers(p.Noisy, s.cfg.Parallelism)
+	p.Table, p.Total = eval.Prefix(), eval.Total()
+	if countRebuild {
+		s.rebuilds.Add(1)
+	}
+	return eval
+}
+
+// residency splits p's resident float64 backing between heap and mapped
+// file pages, per the decode's MapInfo.
+func residency(p *codec.Payload, info codec.MapInfo) (heap, mapped int64) {
+	n := int64(p.Noisy.Len()) * 8
+	if info.Noisy {
+		mapped += n
+	} else {
+		heap += n
+	}
+	if p.Table != nil {
+		if info.Table {
+			mapped += n
+		} else {
+			heap += n
+		}
+	}
+	return heap, mapped
 }
